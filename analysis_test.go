@@ -1,0 +1,120 @@
+package mosaic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAnalysisWrappers exercises the process-window and manufacturability
+// facade functions end to end on a small grid.
+func TestAnalysisWrappers(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := smallLayout()
+	mask := layout.Rasterize(64, 8)
+
+	// Cut through the first bar (x 160..256, mid-height).
+	cut := Cutline{X: 208, Y: 256, Horizontal: true}
+	points, err := s.ProcessWindow(mask, cut, []float64{-25, 0, 25}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	var nominal float64
+	for _, p := range points {
+		if p.DefocusNM == 0 {
+			nominal = p.CDNM
+		}
+	}
+	if nominal <= 0 {
+		t.Fatal("bar does not print")
+	}
+	lo, hi, ok := DepthOfFocus(points, nominal, 0.2)
+	if !ok || lo > 0 || hi < 0 {
+		t.Fatalf("DoF [%g, %g] ok=%v", lo, hi, ok)
+	}
+
+	c := MaskComplexity(mask)
+	if c.Fragments != 2 {
+		t.Fatalf("two-bar mask has %d fragments", c.Fragments)
+	}
+	// The 56 nm bar violates a 64 nm width rule but not a 40 nm one.
+	if len(MRC(mask, 8, 64, 8)) == 0 {
+		t.Fatal("64 nm width rule not triggered")
+	}
+	if len(MRC(mask, 8, 40, 8)) != 0 {
+		t.Fatal("40 nm width rule falsely triggered")
+	}
+}
+
+// TestSmoothedOptimizeAPI drives the mask-smoothness extension through the
+// public Config.
+func TestSmoothedOptimizeAPI(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := smallLayout()
+	cfg := DefaultConfig(ModeFast)
+	cfg.MaxIter = 6
+	cfg.SmoothWeight = 8
+	res, err := s.Optimize(cfg, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mask.Sum() == 0 {
+		t.Fatal("smoothed run erased the mask")
+	}
+}
+
+// TestOptimizeExactAPI covers the exact-mode facade path at small scale.
+func TestOptimizeExactAPI(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := smallLayout()
+	res, err := s.OptimizeExact(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate(res.Mask, layout, res.RuntimeSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rep.Score) || rep.Score < 0 {
+		t.Fatalf("bad score %g", rep.Score)
+	}
+}
+
+// TestMaskGeometryRoundTrip: optimize-free check of the manufacturing
+// geometry path: rasterize -> trace -> GDSII -> parse -> rasterize is the
+// identity on pixel masks.
+func TestMaskGeometryRoundTrip(t *testing.T) {
+	layout := smallLayout()
+	mask := layout.Rasterize(64, 8)
+	traced := TraceMask("mask", mask, 8)
+	if len(traced.Polys) == 0 {
+		t.Fatal("nothing traced")
+	}
+	dir := t.TempDir()
+	path := dir + "/mask.gds"
+	if err := SaveGDS(path, traced, 2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGDS(path, traced.SizeNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Rasterize(64, 8).Equal(mask, 0) {
+		t.Fatal("GDS round trip altered the mask")
+	}
+	rects := MaskRectangles(mask, 8)
+	if len(rects) != 2 { // two plain bars -> two rectangles
+		t.Fatalf("%d rectangles, want 2", len(rects))
+	}
+}

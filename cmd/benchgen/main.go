@@ -1,0 +1,51 @@
+// Command benchgen materializes the built-in B1-B10 benchmark suite as
+// layout files (and optionally rasterized target PNGs) so that external
+// tools — or the other commands in this repository — can consume them.
+//
+// Usage:
+//
+//	benchgen -out testcases [-png] [-grid 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mosaic"
+	"mosaic/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	out := flag.String("out", "testcases", "output directory")
+	png := flag.Bool("png", false, "also write rasterized target PNGs")
+	gridSize := flag.Int("grid", 512, "raster grid size for -png")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	layouts, err := mosaic.Benchmarks()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range layouts {
+		path := filepath.Join(*out, l.Name+".layout")
+		if err := mosaic.SaveLayout(path, l); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %2d polygons  area %8.0f nm^2  -> %s\n",
+			l.Name, len(l.Polys), l.TotalArea(), path)
+		if *png {
+			px := l.SizeNM / float64(*gridSize)
+			target := l.Rasterize(*gridSize, px)
+			if err := render.SaveField(filepath.Join(*out, l.Name+"_target.png"), target); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command evaluate scores an existing mask against a target layout with
+// the contest metrics (Eq. 22): EPE violations at th_epe = 15 nm, PV band
+// over the ±25 nm / ±2% process window, and shape violations.
+//
+// Usage:
+//
+//	evaluate -testcase B4 -mask out/mask.pgm
+//	evaluate -layout clip.layout -mask mask.pgm -runtime 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mosaic"
+	"mosaic/internal/cli"
+	"mosaic/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evaluate: ")
+	testcase := flag.String("testcase", "", "built-in benchmark name (B1..B10)")
+	layoutPath := flag.String("layout", "", "layout file (alternative to -testcase)")
+	maskPath := flag.String("mask", "", "mask PGM to evaluate (required)")
+	runtime := flag.Float64("runtime", 0, "optimization runtime in seconds to fold into the score")
+	flag.Parse()
+
+	if *maskPath == "" {
+		log.Fatal("-mask is required")
+	}
+	layout, err := cli.LoadLayoutArg(*testcase, *layoutPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mask, err := render.LoadMask(*maskPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mask.W != mask.H {
+		log.Fatalf("mask must be square, got %dx%d", mask.W, mask.H)
+	}
+
+	cfg := mosaic.DefaultOptics()
+	cfg.GridSize = mask.W
+	cfg.PixelNM = layout.SizeNM / float64(mask.W)
+	setup, err := mosaic.NewSetup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := setup.Evaluate(mask, layout, *runtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("testcase:       %s\n", layout.Name)
+	fmt.Printf("EPE violations: %d / %d samples\n", rep.EPEViolations, len(rep.EPEResults))
+	fmt.Printf("PV band:        %.0f nm^2\n", rep.PVBandNM2)
+	fmt.Printf("shape viol.:    %d\n", rep.ShapeViolations)
+	fmt.Printf("runtime:        %.1f s\n", rep.RuntimeSec)
+	fmt.Printf("score:          %.0f\n", rep.Score)
+}

@@ -1,0 +1,146 @@
+// Command mosaic runs MOSAIC mask optimization (or one of the baseline OPC
+// engines) on a layout clip and reports the contest metrics of the result.
+//
+// Usage:
+//
+//	mosaic -testcase B4 -mode exact -out out/
+//	mosaic -layout clip.layout -mode fast -grid 512
+//	mosaic -testcase B1 -method modelbased
+//
+// Outputs: the optimized mask (PGM + PNG), the nominal printed image, the
+// PV band, a target/printed/band overlay, and a per-iteration convergence
+// CSV when -converge is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mosaic"
+	"mosaic/internal/cli"
+	"mosaic/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mosaic: ")
+	testcase := flag.String("testcase", "", "built-in benchmark name (B1..B10)")
+	layoutPath := flag.String("layout", "", "layout file (alternative to -testcase)")
+	mode := flag.String("mode", "fast", "MOSAIC mode: fast or exact")
+	method := flag.String("method", "", "run a baseline instead: rulebased, modelbased, plainilt")
+	gridSize := flag.Int("grid", 512, "simulation grid size (power of two)")
+	maxIter := flag.Int("iter", 0, "override max iterations (0 = paper default)")
+	converge := flag.Bool("converge", false, "track full metrics per iteration (slow) and write converge.csv")
+	out := flag.String("out", "mosaic-out", "output directory")
+	flag.Parse()
+
+	layout, err := cli.LoadLayoutArg(*testcase, *layoutPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mosaic.DefaultOptics()
+	cfg.GridSize = *gridSize
+	cfg.PixelNM = layout.SizeNM / float64(*gridSize)
+	setup, err := mosaic.NewSetup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *method != "" {
+		runBaseline(setup, layout, *method, *out)
+		return
+	}
+
+	var optCfg mosaic.Config
+	switch strings.ToLower(*mode) {
+	case "fast":
+		optCfg = mosaic.DefaultConfig(mosaic.ModeFast)
+	case "exact":
+		optCfg = mosaic.DefaultConfig(mosaic.ModeExact)
+	default:
+		log.Fatalf("unknown mode %q (want fast or exact)", *mode)
+	}
+	if *maxIter > 0 {
+		optCfg.MaxIter = *maxIter
+	}
+	optCfg.TrackMetrics = *converge
+
+	res, err := setup.Optimize(optCfg, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := setup.Evaluate(res.Mask, layout, res.RuntimeSec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(render.SavePGM(filepath.Join(*out, "mask.pgm"), res.Mask))
+	must(render.SaveField(filepath.Join(*out, "mask.png"), res.Mask))
+	// The mask as manufacturing geometry: vectorized polygons in GDSII.
+	traced := mosaic.TraceMask(layout.Name+"_mask", res.Mask, cfg.PixelNM)
+	must(mosaic.SaveGDS(filepath.Join(*out, "mask.gds"), traced, 1))
+	shots := len(mosaic.MaskRectangles(res.Mask, cfg.PixelNM))
+	must(render.SaveField(filepath.Join(*out, "printed_nominal.png"), rep.PrintedNominal))
+	must(render.SaveField(filepath.Join(*out, "pvband.png"), rep.PVBand))
+	target := layout.Rasterize(*gridSize, cfg.PixelNM)
+	must(render.SavePNG(filepath.Join(*out, "overlay.png"), render.Overlay(target, rep.PrintedNominal, rep.PVBand)))
+
+	if *converge {
+		f, err := os.Create(filepath.Join(*out, "converge.csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "iter,objective,f_target,f_pvb,grad_rms,epe,pvband_nm2,score")
+		for _, st := range res.History {
+			fmt.Fprintf(f, "%d,%g,%g,%g,%g,%d,%g,%g\n",
+				st.Iter, st.Objective, st.FTarget, st.FPvb, st.GradRMS,
+				st.EPEViolations, st.PVBandNM2, st.Score)
+		}
+		must(f.Close())
+	}
+
+	fmt.Printf("%s on %s: %d iterations in %.1fs\n",
+		optCfg.Mode, layout.Name, res.Iterations, res.RuntimeSec)
+	fmt.Printf("EPE violations: %d / %d samples\n", rep.EPEViolations, len(rep.EPEResults))
+	fmt.Printf("PV band:        %.0f nm^2\n", rep.PVBandNM2)
+	fmt.Printf("shape viol.:    %d\n", rep.ShapeViolations)
+	fmt.Printf("score:          %.0f\n", rep.Score)
+	fmt.Printf("mask geometry:  %d polygons, %d VSB rectangles\n", len(traced.Polys), shots)
+	fmt.Printf("outputs in %s\n", *out)
+}
+
+func runBaseline(setup *mosaic.Setup, layout *mosaic.Layout, name, out string) {
+	var m mosaic.Method
+	for _, cand := range mosaic.Methods() {
+		if strings.EqualFold(cand.Name(), name) ||
+			strings.EqualFold(strings.ReplaceAll(cand.Name(), "_", ""), name) {
+			m = cand
+			break
+		}
+	}
+	if m == nil {
+		log.Fatalf("unknown method %q (want rulebased, modelbased, plainilt, mosaic_fast, mosaic_exact)", name)
+	}
+	rr, err := setup.Run(m, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: %.1fs\n", rr.Method, layout.Name, rr.RuntimeSec)
+	fmt.Printf("EPE=%d PVB=%.0f shape=%d score=%.0f\n",
+		rr.Report.EPEViolations, rr.Report.PVBandNM2, rr.Report.ShapeViolations, rr.Report.Score)
+}

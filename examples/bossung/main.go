@@ -1,0 +1,112 @@
+// Bossung: measures the process window that MOSAIC buys. The critical
+// dimension of a line in B4 is swept through a defocus x dose matrix
+// (Bossung data) for the no-OPC mask and the MOSAIC_fast mask, and the
+// depth of focus at ±10% CD tolerance is compared. It also reports the
+// mask-complexity price of the ILT solution (more edges = more e-beam
+// shots, the trade-off the paper's introduction cites).
+//
+// Run with:
+//
+//	go run ./examples/bossung
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaic"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := mosaic.DefaultOptics()
+	cfg.GridSize = 256
+	cfg.PixelNM = 4
+	setup, err := mosaic.NewSetup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := mosaic.Benchmark("B4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := layout.Rasterize(cfg.GridSize, cfg.PixelNM)
+
+	res, err := setup.OptimizeFast(layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cut through the middle line of the B4 grating (center 547 nm wide
+	// 70 nm; see internal/bench) at mid-height.
+	cut := mosaic.Cutline{X: 512 + 35, Y: 512, Horizontal: true}
+	defocus := []float64{-50, -25, 0, 25, 50}
+	doses := []float64{0.95, 1.0, 1.05}
+
+	for _, m := range []struct {
+		name string
+		mask *mosaic.Field
+	}{{"no OPC", target}, {"MOSAIC_fast", res.Mask}} {
+		points, err := setup.ProcessWindow(m.mask, cut, defocus, doses)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — CD (nm) through the process window:\n", m.name)
+		fmt.Printf("  %10s", "defocus\\dose")
+		for _, d := range doses {
+			fmt.Printf(" %8.2f", d)
+		}
+		fmt.Println()
+		for _, df := range defocus {
+			fmt.Printf("  %10.0f", df)
+			for _, d := range doses {
+				for _, p := range points {
+					if p.DefocusNM == df && p.Dose == d {
+						fmt.Printf(" %8.1f", p.CDNM)
+					}
+				}
+			}
+			fmt.Println()
+		}
+		// Anchor the CD spec at this mask's own in-focus unit-dose CD so
+		// the depth of focus isolates *stability* through the window (the
+		// nominal placement itself is what the EPE term polices).
+		var nominalCD float64
+		for _, p := range points {
+			if p.DefocusNM == 0 && p.Dose == 1 {
+				nominalCD = p.CDNM
+			}
+		}
+		// Tight 3% tolerance: both masks hold ±10% easily, 3% separates them.
+		lo, hi, ok := mosaic.DepthOfFocus(points, nominalCD, 0.03)
+		spread := cdSpread(points)
+		if ok {
+			fmt.Printf("  CD spread over the window: %.1f nm; DoF at ±3%% of nominal: [%.0f, %.0f] nm\n\n", spread, lo, hi)
+		} else {
+			fmt.Printf("  CD spread over the window: %.1f nm; no usable focus range at ±3%%\n\n", spread)
+		}
+	}
+
+	c := mosaic.MaskComplexity(res.Mask)
+	fmt.Printf("MOSAIC mask complexity: %d fragments, %d edge pixels, ~%d shots\n",
+		c.Fragments, c.EdgePixels, c.ShotEstimate)
+	mrc := mosaic.MRC(res.Mask, cfg.PixelNM, 16, 16)
+	fmt.Printf("mask rule check (16 nm width/space): %d violations\n", len(mrc))
+}
+
+// cdSpread returns max-min CD over all printing window points.
+func cdSpread(points []mosaic.PWPoint) float64 {
+	lo, hi := points[0].CDNM, points[0].CDNM
+	for _, p := range points[1:] {
+		if p.CDNM == 0 {
+			continue
+		}
+		if p.CDNM < lo {
+			lo = p.CDNM
+		}
+		if p.CDNM > hi {
+			hi = p.CDNM
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,82 @@
+// Contest: a miniature version of the paper's Table 2 — every OPC method
+// (rule-based, model-based, plain ILT, MOSAIC_fast, MOSAIC_exact) on a
+// subset of the B1-B10 suite, scored with the ICCAD 2013 function.
+//
+// Run with:
+//
+//	go run ./examples/contest
+//	go run ./examples/contest -testcases B1,B4,B8 -grid 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mosaic"
+)
+
+func main() {
+	log.SetFlags(0)
+	testcases := flag.String("testcases", "B2,B4,B7", "comma-separated benchmark names")
+	gridSize := flag.Int("grid", 256, "simulation grid size")
+	flag.Parse()
+
+	cfg := mosaic.DefaultOptics()
+	cfg.GridSize = *gridSize
+	cfg.PixelNM = 1024.0 / float64(*gridSize)
+	setup, err := mosaic.NewSetup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	methods := mosaic.Methods()
+	names := strings.Split(*testcases, ",")
+	totals := make(map[string]float64)
+
+	fmt.Printf("%-6s", "case")
+	for _, m := range methods {
+		fmt.Printf(" | %-22s", m.Name())
+	}
+	fmt.Println()
+	fmt.Printf("%-6s", "")
+	for range methods {
+		fmt.Printf(" | %5s %8s %7s", "#EPE", "PVB", "score")
+	}
+	fmt.Println()
+
+	for _, name := range names {
+		layout, err := mosaic.Benchmark(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s", layout.Name)
+		for _, m := range methods {
+			rr, err := setup.Run(m, layout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" | %5d %8.0f %7.0f",
+				rr.Report.EPEViolations, rr.Report.PVBandNM2, rr.Report.Score)
+			totals[m.Name()] += rr.Report.Score
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	best := ""
+	for _, m := range methods {
+		if best == "" || totals[m.Name()] < totals[best] {
+			best = m.Name()
+		}
+	}
+	fmt.Println("total scores (lower is better):")
+	for _, m := range methods {
+		marker := " "
+		if m.Name() == best {
+			marker = "*"
+		}
+		fmt.Printf(" %s %-14s %10.0f\n", marker, m.Name(), totals[m.Name()])
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: optimize one benchmark clip with MOSAIC_fast and compare the
+// contest metrics against lithography without OPC.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaic"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A coarser grid than the paper's experiments keeps the example quick:
+	// 256 px over the 1024 nm clip = 4 nm/px.
+	cfg := mosaic.DefaultOptics()
+	cfg.GridSize = 256
+	cfg.PixelNM = 4
+
+	setup, err := mosaic.NewSetup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated resist threshold: %.4f\n\n", setup.Sim.Resist.Threshold)
+
+	layout, err := mosaic.Benchmark("B4") // dense five-line grating
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: print the target directly (no OPC).
+	target := layout.Rasterize(cfg.GridSize, cfg.PixelNM)
+	noOPC, err := setup.Evaluate(target, layout, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// MOSAIC_fast with the paper's parameters.
+	res, err := setup.OptimizeFast(layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withOPC, err := setup.Evaluate(res.Mask, layout, res.RuntimeSec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %8s %12s %8s\n", "mask", "#EPE", "PVB (nm^2)", "score")
+	fmt.Printf("%-12s %8d %12.0f %8.0f\n", "no OPC", noOPC.EPEViolations, noOPC.PVBandNM2, noOPC.Score)
+	fmt.Printf("%-12s %8d %12.0f %8.0f\n", "MOSAIC_fast", withOPC.EPEViolations, withOPC.PVBandNM2, withOPC.Score)
+	fmt.Printf("\noptimized in %d iterations (%.1fs); score improved %.1fx\n",
+		res.Iterations, res.RuntimeSec, noOPC.Score/withOPC.Score)
+}

@@ -1,0 +1,164 @@
+// Package bench provides the B1-B10 benchmark suite: deterministic
+// synthetic 32 nm-class M1 layout clips standing in for the proprietary
+// IBM testcases of the ICCAD 2013 contest. Each clip is 1024 x 1024 nm
+// (the contest size) and the suite spans the difficulty spectrum the
+// contest was built to probe: isolated lines (SRAF territory), dense
+// gratings (proximity territory), bent/jogged shapes (corner rounding) and
+// contact-like arrays (2-D everywhere).
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"mosaic/internal/geom"
+)
+
+// ClipNM is the side length of every benchmark clip in nm, matching the
+// ICCAD 2013 contest clips.
+const ClipNM = 1024
+
+func rect(x, y, w, h float64) geom.Polygon { return geom.Rect{X: x, Y: y, W: w, H: h}.Polygon() }
+
+// poly builds a polygon from a flat x1,y1,x2,y2,... coordinate list.
+func poly(xy ...float64) geom.Polygon {
+	p := make(geom.Polygon, len(xy)/2)
+	for i := range p {
+		p[i] = geom.Point{X: xy[2*i], Y: xy[2*i+1]}
+	}
+	return p
+}
+
+// builders maps testcase name to its construction function. Features stay
+// inside the central region so SRAFs and optical spillover fit in the clip.
+var builders = map[string]func() []geom.Polygon{
+	// B1: a single wide isolated line — the easy case; needs SRAFs for
+	// process window but prints readily.
+	"B1": func() []geom.Polygon {
+		return []geom.Polygon{rect(462, 212, 100, 600)}
+	},
+	// B2: a narrow isolated vertical line — harder CD control.
+	"B2": func() []geom.Polygon {
+		return []geom.Polygon{rect(482, 212, 60, 600)}
+	},
+	// B3: a sparse pair at a forgiving pitch.
+	"B3": func() []geom.Polygon {
+		return []geom.Polygon{
+			rect(372, 242, 80, 540),
+			rect(572, 242, 80, 540),
+		}
+	},
+	// B4: a five-line grating at 160 nm pitch — classic dense proximity.
+	"B4": func() []geom.Polygon {
+		var ps []geom.Polygon
+		for i := 0; i < 5; i++ {
+			ps = append(ps, rect(192+float64(i)*160, 242, 70, 540))
+		}
+		return ps
+	},
+	// B5: an L-shape next to a bar — inner corner plus proximity.
+	"B5": func() []geom.Polygon {
+		l := poly(
+			292, 292, 392, 292, 392, 592, 632, 592, 632, 692, 292, 692,
+		)
+		return []geom.Polygon{l, rect(492, 292, 90, 220)}
+	},
+	// B6: a T-shape with a narrow stem and a flanking line — line-end and
+	// junction behaviour.
+	"B6": func() []geom.Polygon {
+		tshape := poly(
+			292, 292, 652, 292, 652, 382, 512, 382, 512, 712, 432, 712, 432, 382, 292, 382,
+		)
+		return []geom.Polygon{tshape, rect(592, 472, 70, 240)}
+	},
+	// B7: a U (comb) shape — two tines coupled through the base.
+	"B7": func() []geom.Polygon {
+		u := poly(
+			312, 282, 402, 282, 402, 622, 622, 622, 622, 282, 712, 282, 712, 712, 312, 712,
+		)
+		return []geom.Polygon{u}
+	},
+	// B8: a 3x3 contact-like array of 90 nm squares — 2-D imaging at its
+	// hardest.
+	"B8": func() []geom.Polygon {
+		var ps []geom.Polygon
+		for iy := 0; iy < 3; iy++ {
+			for ix := 0; ix < 3; ix++ {
+				ps = append(ps, rect(332+float64(ix)*180, 332+float64(iy)*180, 90, 90))
+			}
+		}
+		return ps
+	},
+	// B9: a jogged (staircase) line plus two short line-ends facing each
+	// other across a tight gap.
+	"B9": func() []geom.Polygon {
+		jog := poly(
+			262, 262, 342, 262, 342, 452, 462, 452, 462, 642, 582, 642, 582, 762, 382, 762, 382, 552, 262, 552,
+		)
+		return []geom.Polygon{
+			jog,
+			rect(562, 262, 70, 240),
+			rect(682, 262, 70, 240),
+		}
+	},
+	// B10: interdigitated combs — the densest, most coupled case.
+	"B10": func() []geom.Polygon {
+		left := poly(
+			242, 242, 322, 242, 322, 682, 462, 682, 462, 242, 542, 242, 542, 762, 242, 762,
+		)
+		// The right comb mirrors the left one, opening upward so the tines
+		// interleave across the 60 nm gap.
+		right := poly(
+			602, 242, 782, 242, 782, 762, 702, 762, 702, 322, 662, 322, 662, 762, 602, 762,
+		)
+		return []geom.Polygon{left, right}
+	},
+}
+
+// Names returns the benchmark names in suite order (B1..B10).
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		// B1 < B2 < ... < B10 (numeric suffix).
+		return suffixNum(names[i]) < suffixNum(names[j])
+	})
+	return names
+}
+
+func suffixNum(s string) int {
+	n := 0
+	for _, r := range s[1:] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// Layout builds the named benchmark clip. The result is freshly allocated
+// and validated; callers may mutate it.
+func Layout(name string) (*geom.Layout, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown testcase %q (want B1..B10)", name)
+	}
+	l := &geom.Layout{Name: name, SizeNM: ClipNM, Polys: b()}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	return l, nil
+}
+
+// All returns the full suite in order.
+func All() ([]*geom.Layout, error) {
+	var out []*geom.Layout
+	for _, n := range Names() {
+		l, err := Layout(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+
+	"mosaic/internal/geom"
+)
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("suite has %d testcases, want 10", len(names))
+	}
+	for i, n := range names {
+		want := "B" + string(rune('1'+i))
+		if i == 9 {
+			want = "B10"
+		}
+		if n != want {
+			t.Fatalf("position %d: %s, want %s", i, n, want)
+		}
+	}
+}
+
+func TestLayoutsValid(t *testing.T) {
+	for _, name := range Names() {
+		l, err := Layout(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if l.SizeNM != ClipNM {
+			t.Errorf("%s: size %g, want %d", name, l.SizeNM, ClipNM)
+		}
+		if len(l.Polys) == 0 {
+			t.Errorf("%s: empty layout", name)
+		}
+		if l.TotalArea() <= 0 {
+			t.Errorf("%s: zero pattern area", name)
+		}
+		// Features leave a margin for SRAFs and optical spillover.
+		for i, p := range l.Polys {
+			bb := p.BBox()
+			if bb.X < 100 || bb.Y < 100 || bb.X+bb.W > ClipNM-100 || bb.Y+bb.H > ClipNM-100 {
+				t.Errorf("%s polygon %d too close to the clip boundary: %+v", name, i, bb)
+			}
+		}
+	}
+}
+
+func TestLayoutUnknown(t *testing.T) {
+	if _, err := Layout("B99"); err == nil {
+		t.Fatal("unknown testcase accepted")
+	}
+}
+
+func TestAll(t *testing.T) {
+	ls, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 10 {
+		t.Fatalf("All returned %d layouts", len(ls))
+	}
+}
+
+func TestLayoutsFresh(t *testing.T) {
+	a, err := Layout("B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Layout("B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Polys[0][0] = geom.Point{X: 1, Y: 1}
+	if b.Polys[0][0] == a.Polys[0][0] {
+		t.Fatal("Layout returns shared polygon storage")
+	}
+}
+
+func TestRasterizeSuite(t *testing.T) {
+	for _, name := range Names() {
+		l, err := Layout(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := l.Rasterize(256, 4)
+		got := f.Sum() * 16 // pixel area 4x4 nm
+		want := l.TotalArea()
+		if got < 0.9*want || got > 1.1*want {
+			t.Errorf("%s: rasterized area %g vs polygon area %g", name, got, want)
+		}
+	}
+}
+
+func TestSamplePointsSuite(t *testing.T) {
+	for _, name := range Names() {
+		l, err := Layout(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := l.SamplePoints(40)
+		if len(ss) < 10 {
+			t.Errorf("%s: only %d EPE samples", name, len(ss))
+		}
+	}
+}

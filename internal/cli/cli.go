@@ -1,0 +1,47 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"mosaic/internal/bench"
+	"mosaic/internal/gds"
+	"mosaic/internal/geom"
+)
+
+// LoadLayoutArg resolves the -testcase / -layout flag pair every tool
+// accepts: exactly one must be set; testcase names a built-in benchmark,
+// path a layout file — the text format by default, GDSII when the path
+// ends in .gds (clip size derived from the geometry, rounded up to the
+// next multiple of 256 nm so standard grids divide it).
+func LoadLayoutArg(testcase, path string) (*geom.Layout, error) {
+	switch {
+	case testcase != "" && path != "":
+		return nil, fmt.Errorf("use either -testcase or -layout, not both")
+	case testcase != "":
+		return bench.Layout(testcase)
+	case strings.HasSuffix(strings.ToLower(path), ".gds"):
+		l, err := gds.Load(path, 0)
+		if err != nil {
+			return nil, err
+		}
+		l.SizeNM = 256 * math.Ceil(l.SizeNM/256)
+		return l, nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		l, err := geom.Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return l, nil
+	default:
+		return nil, fmt.Errorf("one of -testcase or -layout is required")
+	}
+}

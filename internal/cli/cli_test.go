@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mosaic/internal/bench"
+	"mosaic/internal/gds"
+)
+
+func TestLoadLayoutArgBuiltin(t *testing.T) {
+	l, err := LoadLayoutArg("B3", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "B3" {
+		t.Fatalf("got %s", l.Name)
+	}
+}
+
+func TestLoadLayoutArgFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.layout")
+	if err := os.WriteFile(path, []byte("CLIP file-test 100\nRECT 10 10 20 20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadLayoutArg("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "file-test" {
+		t.Fatalf("got %s", l.Name)
+	}
+}
+
+func TestLoadLayoutArgErrors(t *testing.T) {
+	if _, err := LoadLayoutArg("", ""); err == nil {
+		t.Fatal("neither flag rejected? no")
+	}
+	if _, err := LoadLayoutArg("B1", "x.layout"); err == nil {
+		t.Fatal("both flags accepted")
+	}
+	if _, err := LoadLayoutArg("B99", ""); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := LoadLayoutArg("", "/nonexistent/file.layout"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.layout")
+	if err := os.WriteFile(bad, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLayoutArg("", bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestLoadLayoutArgGDS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip.gds")
+	l, err := bench.Layout("B5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gds.Save(path, l, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLayoutArg("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Polys) != len(l.Polys) {
+		t.Fatalf("%d polys, want %d", len(got.Polys), len(l.Polys))
+	}
+	// Clip size rounds up to a multiple of 256 so power-of-two grids fit.
+	if int(got.SizeNM)%256 != 0 {
+		t.Fatalf("clip size %g not grid friendly", got.SizeNM)
+	}
+}

@@ -1,0 +1,239 @@
+// Package fft implements the fast Fourier transforms used by the optical
+// simulator: an iterative radix-2 complex FFT, 2-D transforms over
+// grid.CField, fftshift helpers, and band-limited embedding/extraction of
+// low-frequency blocks (the imaging system is heavily band-limited, so
+// optical kernels live on a small central frequency patch of the full mask
+// spectrum).
+//
+// All transform lengths must be powers of two; NextPow2 rounds sizes up.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"mosaic/internal/grid"
+)
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// plan caches twiddle factors and the bit-reversal permutation for a given
+// transform length.
+type plan struct {
+	n    int
+	rev  []int
+	wFwd []complex128 // forward twiddles, w[k] = exp(-2*pi*i*k/n), k < n/2
+	wInv []complex128 // inverse twiddles
+}
+
+var (
+	plansMu sync.Mutex
+	plans   = map[int]*plan{}
+)
+
+func getPlan(n int) *plan {
+	plansMu.Lock()
+	defer plansMu.Unlock()
+	if p, ok := plans[n]; ok {
+		return p
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	p := &plan{n: n, rev: make([]int, n)}
+	logn := bits.TrailingZeros(uint(n))
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logn))
+	}
+	half := n / 2
+	p.wFwd = make([]complex128, half)
+	p.wInv = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.wFwd[k] = complex(c, s)
+		p.wInv[k] = complex(c, -s)
+	}
+	plans[n] = p
+	return p
+}
+
+// transform runs an in-place iterative radix-2 FFT over x using the plan's
+// twiddles. inverse selects the conjugate twiddles; scaling by 1/n for the
+// inverse is done by the caller.
+func transform(x []complex128, p *plan, inverse bool) {
+	n := p.n
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	w := p.wFwd
+	if inverse {
+		w = p.wInv
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for off := start; off < start+half; off++ {
+				u := x[off]
+				v := x[off+half] * w[k]
+				x[off] = u + v
+				x[off+half] = u - v
+				k += step
+			}
+		}
+	}
+}
+
+// Forward computes the in-place forward FFT of x (len must be a power of
+// two).
+func Forward(x []complex128) { transform(x, getPlan(len(x)), false) }
+
+// Inverse computes the in-place inverse FFT of x, including the 1/n
+// normalization.
+func Inverse(x []complex128) {
+	transform(x, getPlan(len(x)), true)
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// Forward2D computes the in-place 2-D forward FFT of c. Both dimensions
+// must be powers of two.
+func Forward2D(c *grid.CField) { transform2D(c, false) }
+
+// Inverse2D computes the in-place 2-D inverse FFT of c, including the
+// 1/(W*H) normalization.
+func Inverse2D(c *grid.CField) {
+	transform2D(c, true)
+	inv := complex(1/float64(c.W*c.H), 0)
+	for i := range c.Data {
+		c.Data[i] *= inv
+	}
+}
+
+func transform2D(c *grid.CField, inverse bool) {
+	pw := getPlan(c.W)
+	ph := getPlan(c.H)
+	// Rows.
+	for y := 0; y < c.H; y++ {
+		transform(c.Row(y), pw, inverse)
+	}
+	if c.W == c.H {
+		// Square grids (the common case): transpose, FFT rows again,
+		// transpose back. Both passes then stream memory sequentially,
+		// which is substantially faster than strided column access.
+		transposeSquare(c)
+		for y := 0; y < c.H; y++ {
+			transform(c.Row(y), ph, inverse)
+		}
+		transposeSquare(c)
+		return
+	}
+	// Rectangular fallback: columns via a scratch buffer.
+	col := make([]complex128, c.H)
+	for x := 0; x < c.W; x++ {
+		for y := 0; y < c.H; y++ {
+			col[y] = c.Data[y*c.W+x]
+		}
+		transform(col, ph, inverse)
+		for y := 0; y < c.H; y++ {
+			c.Data[y*c.W+x] = col[y]
+		}
+	}
+}
+
+// transposeSquare transposes a square field in place with cache blocking.
+func transposeSquare(c *grid.CField) {
+	const blk = 32
+	n := c.W
+	d := c.Data
+	for by := 0; by < n; by += blk {
+		yEnd := by + blk
+		if yEnd > n {
+			yEnd = n
+		}
+		for bx := by; bx < n; bx += blk {
+			xEnd := bx + blk
+			if xEnd > n {
+				xEnd = n
+			}
+			for y := by; y < yEnd; y++ {
+				xStart := bx
+				if bx == by {
+					xStart = y + 1 // skip the diagonal block's lower half
+				}
+				for x := xStart; x < xEnd; x++ {
+					i, j := y*n+x, x*n+y
+					d[i], d[j] = d[j], d[i]
+				}
+			}
+		}
+	}
+}
+
+// Shift swaps quadrants so that the zero-frequency component moves from
+// index (0,0) to (W/2, H/2) (or back; Shift is its own inverse for even
+// dimensions). Dimensions must be even.
+func Shift(c *grid.CField) {
+	if c.W%2 != 0 || c.H%2 != 0 {
+		panic("fft: Shift requires even dimensions")
+	}
+	hw, hh := c.W/2, c.H/2
+	for y := 0; y < hh; y++ {
+		for x := 0; x < c.W; x++ {
+			x2 := (x + hw) % c.W
+			y2 := y + hh
+			i, j := y*c.W+x, y2*c.W+x2
+			c.Data[i], c.Data[j] = c.Data[j], c.Data[i]
+		}
+	}
+}
+
+// ExtractCenter pulls the centered (2k+1) x (2k+1) low-frequency block out
+// of an *unshifted* spectrum c: frequencies fx, fy in [-k, k], returned as a
+// (2k+1)^2 field indexed with (0,0) at fx=fy=-k.
+func ExtractCenter(c *grid.CField, k int) *grid.CField {
+	n := 2*k + 1
+	out := grid.NewC(n, n)
+	for dy := -k; dy <= k; dy++ {
+		sy := (dy + c.H) % c.H
+		for dx := -k; dx <= k; dx++ {
+			sx := (dx + c.W) % c.W
+			out.Set(dx+k, dy+k, c.At(sx, sy))
+		}
+	}
+	return out
+}
+
+// EmbedCenter writes a (2k+1) x (2k+1) low-frequency block blk (indexed as
+// produced by ExtractCenter) into a zeroed W x H unshifted spectrum.
+func EmbedCenter(blk *grid.CField, w, h int) *grid.CField {
+	if blk.W != blk.H || blk.W%2 != 1 {
+		panic("fft: EmbedCenter block must be odd square")
+	}
+	k := blk.W / 2
+	out := grid.NewC(w, h)
+	for dy := -k; dy <= k; dy++ {
+		sy := (dy + h) % h
+		for dx := -k; dx <= k; dx++ {
+			sx := (dx + w) % w
+			out.Set(sx, sy, blk.At(dx+k, dy+k))
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package fft
+
+import (
+	"testing"
+
+	"mosaic/internal/grid"
+)
+
+// oldTransform2D is the pre-transpose column-scratch implementation, kept
+// here only to guard against performance regressions in the square path.
+func oldTransform2D(c *grid.CField, inverse bool) {
+	pw := getPlan(c.W)
+	ph := getPlan(c.H)
+	for y := 0; y < c.H; y++ {
+		transform(c.Row(y), pw, inverse)
+	}
+	col := make([]complex128, c.H)
+	for x := 0; x < c.W; x++ {
+		for y := 0; y < c.H; y++ {
+			col[y] = c.Data[y*c.W+x]
+		}
+		transform(col, ph, inverse)
+		for y := 0; y < c.H; y++ {
+			c.Data[y*c.W+x] = col[y]
+		}
+	}
+}
+
+func BenchmarkFFT512Transpose(b *testing.B) {
+	c := grid.NewC(512, 512)
+	c.Data[5] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transform2D(c, false)
+	}
+}
+
+func BenchmarkFFT512ColumnScratch(b *testing.B) {
+	c := grid.NewC(512, 512)
+	c.Data[5] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oldTransform2D(c, false)
+	}
+}

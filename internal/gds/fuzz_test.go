@@ -1,0 +1,35 @@
+package gds
+
+import (
+	"bytes"
+	"testing"
+
+	"mosaic/internal/bench"
+)
+
+// FuzzParse feeds arbitrary byte streams to the GDSII reader: it must
+// return an error or a valid layout, never panic or hang.
+func FuzzParse(f *testing.F) {
+	// Seed with a real file and a few truncations of it.
+	l, err := bench.Layout("B5")
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l, 1); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:7])
+	f.Add([]byte{})
+	f.Add([]byte{0, 6, 0, 2, 2, 88})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Parse(bytes.NewReader(data), 0)
+		if err == nil && l == nil {
+			t.Fatal("nil layout without error")
+		}
+	})
+}

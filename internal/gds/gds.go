@@ -1,0 +1,306 @@
+// Package gds reads and writes layout clips as GDSII stream files, the
+// interchange format of mask and layout tools. Only the subset needed for
+// flat polygon data is implemented — HEADER/BGNLIB/LIBNAME/UNITS, one
+// structure, BOUNDARY elements with LAYER/DATATYPE/XY — which is exactly
+// what an OPC flow exchanges with a mask shop.
+//
+// Coordinates are stored in integer database units; this package uses
+// 1 dbu = 1 nm and a user unit of 1 µm (the de-facto standard).
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"mosaic/internal/geom"
+)
+
+// GDSII record types (subset).
+const (
+	recHEADER   = 0x0002
+	recBGNLIB   = 0x0102
+	recLIBNAME  = 0x0206
+	recUNITS    = 0x0305
+	recENDLIB   = 0x0400
+	recBGNSTR   = 0x0502
+	recSTRNAME  = 0x0606
+	recENDSTR   = 0x0700
+	recBOUNDARY = 0x0800
+	recLAYER    = 0x0D02
+	recDATATYPE = 0x0E02
+	recXY       = 0x1003
+	recENDEL    = 0x1100
+)
+
+// DBUPerNM is the database resolution: 1 dbu per nm.
+const DBUPerNM = 1
+
+// real8 encodes an IEEE float into GDSII's excess-64 base-16 8-byte real.
+func real8(f float64) [8]byte {
+	var out [8]byte
+	if f == 0 {
+		return out
+	}
+	sign := byte(0)
+	if f < 0 {
+		sign = 0x80
+		f = -f
+	}
+	// Normalize mantissa into [1/16, 1) with exponent in base 16.
+	exp := 0
+	for f >= 1 {
+		f /= 16
+		exp++
+	}
+	for f < 1.0/16 {
+		f *= 16
+		exp--
+	}
+	out[0] = sign | byte(exp+64)
+	// 7 bytes (56 bits) of mantissa.
+	mant := f
+	for i := 1; i < 8; i++ {
+		mant *= 256
+		b := math.Floor(mant)
+		out[i] = byte(b)
+		mant -= b
+	}
+	return out
+}
+
+// parseReal8 decodes GDSII's 8-byte real format.
+func parseReal8(b []byte) float64 {
+	if len(b) != 8 {
+		return math.NaN()
+	}
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7F) - 64
+	mant := 0.0
+	for i := 7; i >= 1; i-- {
+		mant = (mant + float64(b[i])) / 256
+	}
+	return sign * mant * math.Pow(16, float64(exp))
+}
+
+type recordWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (rw *recordWriter) record(tag uint16, payload []byte) {
+	if rw.err != nil {
+		return
+	}
+	length := uint16(4 + len(payload))
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], length)
+	binary.BigEndian.PutUint16(hdr[2:4], tag)
+	if _, err := rw.w.Write(hdr[:]); err != nil {
+		rw.err = err
+		return
+	}
+	if _, err := rw.w.Write(payload); err != nil {
+		rw.err = err
+	}
+}
+
+func (rw *recordWriter) int16s(tag uint16, vals ...int16) {
+	buf := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	rw.record(tag, buf)
+}
+
+func (rw *recordWriter) str(tag uint16, s string) {
+	b := []byte(s)
+	if len(b)%2 != 0 {
+		b = append(b, 0) // GDSII strings are padded to even length
+	}
+	rw.record(tag, b)
+}
+
+// Write serializes the layout as a GDSII stream with all polygons as
+// BOUNDARY elements on the given layer (datatype 0).
+func Write(w io.Writer, l *geom.Layout, layer int16) error {
+	if err := l.Validate(); err != nil {
+		return fmt.Errorf("gds: %w", err)
+	}
+	rw := &recordWriter{w: bufio.NewWriter(w)}
+	rw.int16s(recHEADER, 600) // stream version 6
+	// BGNLIB/BGNSTR carry modification timestamps (12 int16s); zeros are
+	// accepted by every reader and keep output deterministic.
+	rw.int16s(recBGNLIB, make([]int16, 12)...)
+	rw.str(recLIBNAME, "MOSAIC")
+	// UNITS: user units per dbu (1e-3: dbu = nm, user unit = um), dbu in
+	// meters (1e-9).
+	units := make([]byte, 16)
+	uu := real8(1e-3)
+	mu := real8(1e-9)
+	copy(units[0:8], uu[:])
+	copy(units[8:16], mu[:])
+	rw.record(recUNITS, units)
+	rw.int16s(recBGNSTR, make([]int16, 12)...)
+	rw.str(recSTRNAME, structName(l.Name))
+	for _, p := range l.Polys {
+		rw.record(recBOUNDARY, nil)
+		rw.int16s(recLAYER, layer)
+		rw.int16s(recDATATYPE, 0)
+		// XY: closed ring, first point repeated, int32 dbu.
+		buf := make([]byte, 8*(len(p)+1))
+		for i := 0; i <= len(p); i++ {
+			v := p[i%len(p)]
+			binary.BigEndian.PutUint32(buf[8*i:], uint32(int32(math.Round(v.X*DBUPerNM))))
+			binary.BigEndian.PutUint32(buf[8*i+4:], uint32(int32(math.Round(v.Y*DBUPerNM))))
+		}
+		rw.record(recXY, buf)
+		rw.record(recENDEL, nil)
+	}
+	rw.record(recENDSTR, nil)
+	rw.record(recENDLIB, nil)
+	if rw.err != nil {
+		return fmt.Errorf("gds: %w", rw.err)
+	}
+	return rw.w.Flush()
+}
+
+func structName(s string) string {
+	if s == "" {
+		return "TOP"
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '$':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Parse reads a flat GDSII stream produced by Write (or any writer using
+// the same subset) back into a layout. sizeNM sets the clip size of the
+// returned layout (GDSII itself has no clip concept); pass 0 to derive it
+// from the geometry's bounding box.
+func Parse(r io.Reader, sizeNM float64) (*geom.Layout, error) {
+	br := bufio.NewReader(r)
+	l := &geom.Layout{SizeNM: sizeNM}
+	var inBoundary bool
+	var curXY []geom.Point
+	dbuNM := 1.0 // nm per dbu, derived from UNITS
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("gds: reading record header: %w", err)
+		}
+		length := int(binary.BigEndian.Uint16(hdr[0:2]))
+		tag := binary.BigEndian.Uint16(hdr[2:4])
+		if length < 4 {
+			return nil, fmt.Errorf("gds: invalid record length %d", length)
+		}
+		payload := make([]byte, length-4)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("gds: truncated record %04x: %w", tag, err)
+		}
+		switch tag {
+		case recSTRNAME:
+			l.Name = trimPad(payload)
+		case recLIBNAME:
+			if l.Name == "" {
+				l.Name = trimPad(payload)
+			}
+		case recUNITS:
+			if len(payload) == 16 {
+				meterPerDBU := parseReal8(payload[8:16])
+				if meterPerDBU > 0 {
+					dbuNM = meterPerDBU * 1e9
+				}
+			}
+		case recBOUNDARY:
+			inBoundary = true
+			curXY = nil
+		case recXY:
+			if !inBoundary {
+				continue
+			}
+			n := len(payload) / 8
+			for i := 0; i < n; i++ {
+				x := int32(binary.BigEndian.Uint32(payload[8*i:]))
+				y := int32(binary.BigEndian.Uint32(payload[8*i+4:]))
+				curXY = append(curXY, geom.Point{X: float64(x) * dbuNM, Y: float64(y) * dbuNM})
+			}
+		case recENDEL:
+			if inBoundary && len(curXY) >= 4 {
+				// Drop the repeated closing point.
+				ring := curXY
+				if ring[0] == ring[len(ring)-1] {
+					ring = ring[:len(ring)-1]
+				}
+				l.Polys = append(l.Polys, geom.Polygon(ring))
+			}
+			inBoundary = false
+		case recENDLIB:
+			// done; ignore trailing padding
+		}
+	}
+	if sizeNM == 0 {
+		maxC := 0.0
+		for _, p := range l.Polys {
+			bb := p.BBox()
+			if v := bb.X + bb.W; v > maxC {
+				maxC = v
+			}
+			if v := bb.Y + bb.H; v > maxC {
+				maxC = v
+			}
+		}
+		l.SizeNM = maxC
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("gds: parsed geometry invalid: %w", err)
+	}
+	return l, nil
+}
+
+func trimPad(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+// Save writes a layout to a GDSII file.
+func Save(path string, l *geom.Layout, layer int16) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, l, layer); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a layout from a GDSII file.
+func Load(path string, sizeNM float64) (*geom.Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f, sizeNM)
+}

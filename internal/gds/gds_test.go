@@ -1,0 +1,196 @@
+package gds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/bench"
+	"mosaic/internal/geom"
+)
+
+func TestReal8KnownValues(t *testing.T) {
+	// 1.0 = 16^1 * (1/16): exponent 65, mantissa 0x10000000000000.
+	b := real8(1)
+	if b[0] != 0x41 || b[1] != 0x10 {
+		t.Fatalf("real8(1) = % x", b)
+	}
+	// 1e-9 (the meters-per-dbu constant in every GDS file ever).
+	if got := parseReal8(func() []byte { v := real8(1e-9); return v[:] }()); math.Abs(got-1e-9) > 1e-24 {
+		t.Fatalf("1e-9 round trip: %g", got)
+	}
+	if got := parseReal8(func() []byte { v := real8(0); return v[:] }()); got != 0 {
+		t.Fatalf("zero round trip: %g", got)
+	}
+}
+
+func TestReal8RoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := math.Exp(rng.NormFloat64()*20) * math.Copysign(1, rng.NormFloat64())
+		b := real8(v)
+		got := parseReal8(b[:])
+		return math.Abs(got-v) <= 1e-14*math.Abs(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	l := &geom.Layout{
+		Name:   "clip B4",
+		SizeNM: 1024,
+		Polys: []geom.Polygon{
+			geom.Rect{X: 100, Y: 200, W: 60, H: 300}.Polygon(),
+			{{X: 400, Y: 400}, {X: 500, Y: 400}, {X: 500, Y: 450}, {X: 460, Y: 450}, {X: 460, Y: 500}, {X: 400, Y: 500}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l, 11); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "clip_B4" { // structure names sanitize spaces
+		t.Fatalf("name %q", got.Name)
+	}
+	if len(got.Polys) != 2 {
+		t.Fatalf("%d polys", len(got.Polys))
+	}
+	if got.TotalArea() != l.TotalArea() {
+		t.Fatalf("area %g vs %g", got.TotalArea(), l.TotalArea())
+	}
+}
+
+func TestWholeSuiteRoundTrip(t *testing.T) {
+	for _, name := range bench.Names() {
+		l, err := bench.Layout(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, l, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()), l.SizeNM)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Polys) != len(l.Polys) || got.TotalArea() != l.TotalArea() {
+			t.Fatalf("%s: geometry changed", name)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	l, err := bench.Layout("B5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := Write(&a, l, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, l, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("output not deterministic")
+	}
+}
+
+func TestRecordStructure(t *testing.T) {
+	l := &geom.Layout{Name: "t", SizeNM: 100,
+		Polys: []geom.Polygon{geom.Rect{X: 10, Y: 10, W: 20, H: 20}.Polygon()}}
+	var buf bytes.Buffer
+	if err := Write(&buf, l, 7); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// First record must be HEADER with version 600.
+	if binary.BigEndian.Uint16(data[2:4]) != recHEADER {
+		t.Fatal("first record not HEADER")
+	}
+	if binary.BigEndian.Uint16(data[4:6]) != 600 {
+		t.Fatal("wrong stream version")
+	}
+	// File must end with ENDLIB.
+	if binary.BigEndian.Uint16(data[len(data)-2:]) != recENDLIB {
+		t.Fatal("file does not end with ENDLIB")
+	}
+	// Every record length must be consistent with the file size.
+	off := 0
+	for off < len(data) {
+		length := int(binary.BigEndian.Uint16(data[off : off+2]))
+		if length < 4 || off+length > len(data) {
+			t.Fatalf("bad record length %d at offset %d", length, off)
+		}
+		off += length
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(bytes.NewReader([]byte{0, 2, 0}), 0); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Record claiming a payload longer than the file.
+	bad := []byte{0, 50, 0x00, 0x02, 1, 2}
+	if _, err := Parse(bytes.NewReader(bad), 0); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Invalid length < 4.
+	bad2 := []byte{0, 2, 0x00, 0x02}
+	if _, err := Parse(bytes.NewReader(bad2), 0); err == nil {
+		t.Fatal("undersized record accepted")
+	}
+}
+
+func TestWriteRejectsInvalidLayout(t *testing.T) {
+	bad := &geom.Layout{Name: "x", SizeNM: 10, Polys: []geom.Polygon{
+		{{X: 0, Y: 0}, {X: 5, Y: 5}, {X: 5, Y: 0}, {X: 0, Y: 5}},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, bad, 1); err == nil {
+		t.Fatal("diagonal polygon accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b1.gds")
+	l, err := bench.Layout("B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, l, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, 0) // derive size from geometry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SizeNM <= 0 || len(got.Polys) != 1 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestStructName(t *testing.T) {
+	cases := map[string]string{
+		"":         "TOP",
+		"B4":       "B4",
+		"my clip!": "my_clip_",
+		"a$b_c9":   "a$b_c9",
+	}
+	for in, want := range cases {
+		if got := structName(in); got != want {
+			t.Errorf("structName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the layout parser: it must return an
+// error or a valid layout, never panic.
+func FuzzParse(f *testing.F) {
+	f.Add("CLIP a 100\nRECT 10 10 20 20\n")
+	f.Add("CLIP a 100\nPOLY 0 0 10 0 10 10 0 10\n")
+	f.Add("# comment\n\nCLIP x 50\n")
+	f.Add("RECT 1 2 3 4")
+	f.Add("CLIP a 1e309\nRECT 1 1 1 1")
+	f.Add("CLIP a -5")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if l == nil {
+			t.Fatal("nil layout without error")
+		}
+		// Whatever parses must also survive validation (Parse validates)
+		// and rasterization at a small grid.
+		if l.SizeNM > 0 && l.SizeNM < 1e6 {
+			l.Rasterize(16, l.SizeNM/16)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package geom provides the layout geometry substrate: rectilinear
+// polygons in nanometer coordinates, a text layout format, rasterization
+// onto the pixel grid, edge extraction, and the EPE sample-point generation
+// of Fig. 3 (samples every 40 nm along pattern boundaries, split into
+// horizontal-edge and vertical-edge sets).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mosaic/internal/grid"
+)
+
+// Point is a position in nanometers.
+type Point struct{ X, Y float64 }
+
+// Rect is an axis-aligned rectangle in nanometers.
+type Rect struct{ X, Y, W, H float64 }
+
+// Polygon returns the rectangle as a counter-clockwise rectilinear ring.
+func (r Rect) Polygon() Polygon {
+	return Polygon{
+		{r.X, r.Y},
+		{r.X + r.W, r.Y},
+		{r.X + r.W, r.Y + r.H},
+		{r.X, r.Y + r.H},
+	}
+}
+
+// Polygon is a closed rectilinear ring; consecutive vertices must differ in
+// exactly one coordinate. The last vertex connects back to the first.
+type Polygon []Point
+
+// Validate reports an error if the ring is not a proper rectilinear
+// polygon (fewer than 4 vertices, or a diagonal or zero-length edge).
+func (p Polygon) Validate() error {
+	if len(p) < 4 {
+		return fmt.Errorf("geom: polygon needs at least 4 vertices, got %d", len(p))
+	}
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		dx, dy := b.X-a.X, b.Y-a.Y
+		if (dx == 0) == (dy == 0) {
+			return fmt.Errorf("geom: edge %d (%v -> %v) is not axis-aligned and nonzero", i, a, b)
+		}
+	}
+	return nil
+}
+
+// Edge is one axis-aligned polygon edge.
+type Edge struct {
+	A, B       Point
+	Horizontal bool
+}
+
+// Len returns the edge length in nm.
+func (e Edge) Len() float64 {
+	return math.Abs(e.B.X-e.A.X) + math.Abs(e.B.Y-e.A.Y)
+}
+
+// Edges returns the polygon's edges.
+func (p Polygon) Edges() []Edge {
+	es := make([]Edge, 0, len(p))
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		es = append(es, Edge{A: a, B: b, Horizontal: a.Y == b.Y})
+	}
+	return es
+}
+
+// BBox returns the polygon's bounding rectangle.
+func (p Polygon) BBox() Rect {
+	if len(p) == 0 {
+		return Rect{}
+	}
+	minX, minY := p[0].X, p[0].Y
+	maxX, maxY := minX, minY
+	for _, v := range p[1:] {
+		minX = math.Min(minX, v.X)
+		minY = math.Min(minY, v.Y)
+		maxX = math.Max(maxX, v.X)
+		maxY = math.Max(maxY, v.Y)
+	}
+	return Rect{X: minX, Y: minY, W: maxX - minX, H: maxY - minY}
+}
+
+// Area returns the polygon's area in nm^2 (shoelace formula, always
+// non-negative).
+func (p Polygon) Area() float64 {
+	s := 0.0
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	return math.Abs(s) / 2
+}
+
+// Layout is a layout clip: a square region SizeNM x SizeNM containing
+// rectilinear feature polygons. Coordinates run from 0 to SizeNM.
+type Layout struct {
+	Name   string
+	SizeNM float64
+	Polys  []Polygon
+}
+
+// Validate checks every polygon and that features fit inside the clip.
+func (l *Layout) Validate() error {
+	if l.SizeNM <= 0 {
+		return fmt.Errorf("geom: layout size must be positive, got %g", l.SizeNM)
+	}
+	for i, p := range l.Polys {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("geom: polygon %d: %w", i, err)
+		}
+		bb := p.BBox()
+		if bb.X < 0 || bb.Y < 0 || bb.X+bb.W > l.SizeNM || bb.Y+bb.H > l.SizeNM {
+			return fmt.Errorf("geom: polygon %d extends outside the %g nm clip", i, l.SizeNM)
+		}
+	}
+	return nil
+}
+
+// TotalArea returns the summed polygon area in nm^2 (polygons are assumed
+// disjoint, as in the contest benchmarks).
+func (l *Layout) TotalArea() float64 {
+	s := 0.0
+	for _, p := range l.Polys {
+		s += p.Area()
+	}
+	return s
+}
+
+// Rasterize samples the layout onto an n x n pixel grid with the given
+// pixel size: pixel (ix, iy) is 1 when its center lies inside the layout
+// geometry under the even-odd rule applied across ALL polygons. Disjoint
+// features fill as expected, and a clockwise ring nested inside a feature
+// ring cuts a hole (the convention emitted by the vectorize package).
+func (l *Layout) Rasterize(n int, pixelNM float64) *grid.Field {
+	f := grid.New(n, n)
+	// Gather every vertical edge of every polygon once.
+	type vedge struct{ x, yLo, yHi float64 }
+	var edges []vedge
+	for _, p := range l.Polys {
+		for _, e := range p.Edges() {
+			if e.Horizontal {
+				continue
+			}
+			lo, hi := e.A.Y, e.B.Y
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			edges = append(edges, vedge{x: e.A.X, yLo: lo, yHi: hi})
+		}
+	}
+	var xs []float64
+	for iy := 0; iy < n; iy++ {
+		cy := (float64(iy) + 0.5) * pixelNM
+		xs = xs[:0]
+		for _, e := range edges {
+			// Half-open interval avoids double counting at shared vertices.
+			if cy >= e.yLo && cy < e.yHi {
+				xs = append(xs, e.x)
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		sort.Float64s(xs)
+		row := f.Row(iy)
+		for i := 0; i+1 < len(xs); i += 2 {
+			x0 := int(math.Ceil(xs[i]/pixelNM - 0.5))
+			x1 := int(math.Floor(xs[i+1]/pixelNM - 0.5))
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > f.W-1 {
+				x1 = f.W - 1
+			}
+			for x := x0; x <= x1; x++ {
+				row[x] = 1
+			}
+		}
+	}
+	return f
+}
+
+// Sample is one EPE measurement point on a target edge (Fig. 3). Samples
+// on horizontal edges form the HS set (the printed edge is displaced
+// vertically); samples on vertical edges form the VS set.
+type Sample struct {
+	Pt         Point   // point on the target edge, nm
+	Horizontal bool    // true: HS (horizontal edge), false: VS (vertical edge)
+	InwardX    float64 // unit normal pointing into the feature
+	InwardY    float64
+}
+
+// SamplePoints places EPE samples every stepNM along every feature edge.
+// Edges shorter than stepNM get a single midpoint sample; longer edges get
+// samples at stepNM pitch centered on the edge so that end effects are
+// symmetric. The inward normal is derived from the ring orientation.
+func (l *Layout) SamplePoints(stepNM float64) []Sample {
+	if stepNM <= 0 {
+		panic("geom: sample step must be positive")
+	}
+	var out []Sample
+	for _, p := range l.Polys {
+		ccw := signedArea(p) > 0
+		for _, e := range p.Edges() {
+			length := e.Len()
+			var offsets []float64
+			if length <= stepNM {
+				offsets = []float64{length / 2}
+			} else {
+				k := int(length / stepNM)
+				start := (length - float64(k-1)*stepNM) / 2
+				for i := 0; i < k; i++ {
+					offsets = append(offsets, start+float64(i)*stepNM)
+				}
+			}
+			dx := e.B.X - e.A.X
+			dy := e.B.Y - e.A.Y
+			inv := 1 / length
+			ux, uy := dx*inv, dy*inv
+			// For a CCW ring the interior lies to the left of the direction
+			// of travel; left of (ux, uy) is (-uy, ux).
+			nx, ny := -uy, ux
+			if !ccw {
+				nx, ny = -nx, -ny
+			}
+			for _, off := range offsets {
+				out = append(out, Sample{
+					Pt:         Point{e.A.X + ux*off, e.A.Y + uy*off},
+					Horizontal: e.Horizontal,
+					InwardX:    nx,
+					InwardY:    ny,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func signedArea(p Polygon) float64 {
+	s := 0.0
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	return s / 2
+}

@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The layout text format is a minimal GLP-style format, one statement per
+// line:
+//
+//	CLIP <name> <size-nm>
+//	RECT <x> <y> <w> <h>
+//	POLY <x1> <y1> <x2> <y2> ... (even count, >= 8 numbers)
+//
+// Blank lines and lines starting with '#' are ignored. All coordinates are
+// nanometers. A file holds exactly one clip.
+
+// Write serializes the layout to w in the text format above. Rectangular
+// polygons are written as RECT statements for readability.
+func Write(w io.Writer, l *Layout) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "CLIP %s %g\n", sanitizeName(l.Name), l.SizeNM)
+	for _, p := range l.Polys {
+		if r, ok := asRect(p); ok {
+			fmt.Fprintf(bw, "RECT %g %g %g %g\n", r.X, r.Y, r.W, r.H)
+			continue
+		}
+		fmt.Fprint(bw, "POLY")
+		for _, v := range p {
+			fmt.Fprintf(bw, " %g %g", v.X, v.Y)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+// asRect reports whether p is a 4-vertex axis-aligned rectangle and
+// returns it.
+func asRect(p Polygon) (Rect, bool) {
+	if len(p) != 4 {
+		return Rect{}, false
+	}
+	bb := p.BBox()
+	if p.Area() == bb.W*bb.H && bb.W > 0 && bb.H > 0 {
+		return bb, true
+	}
+	return Rect{}, false
+}
+
+// Parse reads one layout clip from r.
+func Parse(r io.Reader) (*Layout, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var l *Layout
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "CLIP":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("geom: line %d: CLIP wants name and size", lineNo)
+			}
+			size, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("geom: line %d: bad clip size: %w", lineNo, err)
+			}
+			l = &Layout{Name: fields[1], SizeNM: size}
+		case "RECT":
+			if l == nil {
+				return nil, fmt.Errorf("geom: line %d: RECT before CLIP", lineNo)
+			}
+			nums, err := parseFloats(fields[1:])
+			if err != nil || len(nums) != 4 {
+				return nil, fmt.Errorf("geom: line %d: RECT wants 4 numbers", lineNo)
+			}
+			l.Polys = append(l.Polys, Rect{nums[0], nums[1], nums[2], nums[3]}.Polygon())
+		case "POLY":
+			if l == nil {
+				return nil, fmt.Errorf("geom: line %d: POLY before CLIP", lineNo)
+			}
+			nums, err := parseFloats(fields[1:])
+			if err != nil || len(nums) < 8 || len(nums)%2 != 0 {
+				return nil, fmt.Errorf("geom: line %d: POLY wants an even list of >= 8 numbers", lineNo)
+			}
+			p := make(Polygon, len(nums)/2)
+			for i := range p {
+				p[i] = Point{nums[2*i], nums[2*i+1]}
+			}
+			l.Polys = append(l.Polys, p)
+		default:
+			return nil, fmt.Errorf("geom: line %d: unknown statement %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if l == nil {
+		return nil, fmt.Errorf("geom: no CLIP statement found")
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

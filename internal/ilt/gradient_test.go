@@ -1,0 +1,185 @@
+package ilt
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/optics"
+	"mosaic/internal/resist"
+	"mosaic/internal/sim"
+)
+
+func testOptimizer(t *testing.T, mode Mode) (*Optimizer, *geom.Layout) {
+	t.Helper()
+	c := optics.Default()
+	c.GridSize = 64
+	c.PixelNM = 8
+	c.Kernels = 6
+	s, err := sim.New(c, resist.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := s.CalibrateThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Resist.Threshold = thr
+
+	cfg := DefaultConfig(mode)
+	cfg.SRAFInit = false
+	cfg.MaxIter = 8
+	o, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := &geom.Layout{
+		Name:   "grad-test",
+		SizeNM: 512,
+		Polys: []geom.Polygon{
+			geom.Rect{X: 160, Y: 144, W: 96, H: 224}.Polygon(),
+			geom.Rect{X: 304, Y: 144, W: 48, H: 224}.Polygon(),
+		},
+	}
+	if err := layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return o, layout
+}
+
+// objectiveAt evaluates the configured objective for the mask derived from
+// parameter field p.
+func objectiveAt(o *Optimizer, p *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) float64 {
+	mask := maskFromParams(p, o.Cfg.ThetaM)
+	return o.evalState(mask, models, target, samples).objective
+}
+
+// checkGradient compares the analytic dF/dP against central finite
+// differences at a spread of probe pixels.
+func checkGradient(t *testing.T, o *Optimizer, layout *geom.Layout) {
+	t.Helper()
+	n := o.Sim.Cfg.GridSize
+	target := layout.Rasterize(n, o.Sim.Cfg.PixelNM)
+	samples := layout.SamplePoints(o.Cfg.EPESampleNM)
+
+	corners := o.corners()
+	models := make([]cornerModel, len(corners))
+	for i, c := range corners {
+		m, err := o.buildCornerModel(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = m
+	}
+
+	p := paramsFromMask(target, o.Cfg.ThetaM)
+	mask := maskFromParams(p, o.Cfg.ThetaM)
+	st := o.evalState(mask, models, target, samples)
+	grad := o.gradient(st, mask, models, target, samples)
+	for i, g := range grad.Data {
+		mv := mask.Data[i]
+		grad.Data[i] = g * o.Cfg.ThetaM * mv * (1 - mv)
+	}
+
+	// Probe pixels in and around the features where the gradient is live.
+	probes := [][2]int{
+		{24, 32}, {20, 32}, {26, 20}, {30, 32}, {38, 30}, {40, 18}, {44, 40}, {10, 10},
+	}
+	const eps = 1e-4
+	checked := 0
+	gLo, gHi := grad.MinMax()
+	gScale := math.Max(math.Abs(gLo), math.Abs(gHi))
+	if gScale == 0 {
+		t.Fatal("gradient identically zero")
+	}
+	for _, pr := range probes {
+		idx := pr[1]*n + pr[0]
+		orig := p.Data[idx]
+		p.Data[idx] = orig + eps
+		fPlus := objectiveAt(o, p, models, target, samples)
+		p.Data[idx] = orig - eps
+		fMinus := objectiveAt(o, p, models, target, samples)
+		p.Data[idx] = orig
+		numeric := (fPlus - fMinus) / (2 * eps)
+		analytic := grad.Data[idx]
+		// Skip numerically dead probes.
+		if math.Abs(numeric) < 1e-9*gScale && math.Abs(analytic) < 1e-9*gScale {
+			continue
+		}
+		diff := math.Abs(numeric - analytic)
+		if diff > 2e-3*(math.Abs(numeric)+math.Abs(analytic))+1e-9*gScale {
+			t.Errorf("pixel (%d,%d): analytic %.6e vs numeric %.6e", pr[0], pr[1], analytic, numeric)
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d live probes; test too weak", checked)
+	}
+}
+
+func TestGradientFiniteDifferenceFast(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	checkGradient(t, o, layout)
+}
+
+func TestGradientFiniteDifferenceExact(t *testing.T) {
+	o, layout := testOptimizer(t, ModeExact)
+	checkGradient(t, o, layout)
+}
+
+func TestGradientFiniteDifferenceFullSOCS(t *testing.T) {
+	o, layout := testOptimizer(t, ModeExact) // full kernel stack
+	o.Cfg.Mode = ModeFast
+	checkGradient(t, o, layout)
+}
+
+func TestGradientFiniteDifferenceCombinedKernel(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.GradKernels = 0 // Eq. 21 combined kernel
+	checkGradient(t, o, layout)
+}
+
+func TestGradientFiniteDifferencePVBOnly(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.Alpha = 0
+	o.Cfg.Beta = 1
+	checkGradient(t, o, layout)
+}
+
+func TestGradientFiniteDifferenceSmooth(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.SmoothWeight = 0.5
+	checkGradient(t, o, layout)
+}
+
+func TestGradientFiniteDifferenceTruncatedKernels(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.GradKernels = 3 // truncated, renormalized stack
+	checkGradient(t, o, layout)
+}
+
+func TestGradientFiniteDifferenceExactWithSmooth(t *testing.T) {
+	o, layout := testOptimizer(t, ModeExact)
+	o.Cfg.SmoothWeight = 0.25
+	checkGradient(t, o, layout)
+}
+
+func TestTruncatedStackOpenFrameUnit(t *testing.T) {
+	// The renormalized truncated stack must image a clear mask to
+	// intensity 1 so the resist threshold keeps its calibration.
+	o, _ := testOptimizer(t, ModeFast)
+	o.Cfg.GradKernels = 3
+	m, err := o.buildCornerModel(o.corners()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := 0.0
+	for i, f := range m.freqs {
+		v := f.At(m.k, m.k)
+		dc += m.weights[i] * (real(v)*real(v) + imag(v)*imag(v))
+	}
+	if diff := dc - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("truncated open-frame intensity %g, want 1", dc)
+	}
+}

@@ -1,0 +1,282 @@
+package ilt
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/metrics"
+)
+
+func TestModeString(t *testing.T) {
+	if ModeFast.String() != "MOSAIC_fast" || ModeExact.String() != "MOSAIC_exact" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode has empty name")
+	}
+}
+
+func TestDefaultConfigModes(t *testing.T) {
+	fast := DefaultConfig(ModeFast)
+	exact := DefaultConfig(ModeExact)
+	if fast.Mode != ModeFast || exact.Mode != ModeExact {
+		t.Fatal("mode not set")
+	}
+	if fast.Gamma != 4 {
+		t.Fatalf("fast gamma %g, want 4 (paper Sec. 3.3)", fast.Gamma)
+	}
+	if exact.GradKernels <= fast.GradKernels {
+		t.Fatal("exact mode must use a deeper kernel stack than fast")
+	}
+	if fast.MaxIter != 20 || fast.EPEThresholdNM != 15 || fast.EPESampleNM != 40 {
+		t.Fatal("paper constants wrong")
+	}
+	if fast.DefocusNM != 25 || fast.DoseDelta != 0.02 {
+		t.Fatal("process window constants wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	o, _ := testOptimizer(t, ModeFast)
+	s := o.Sim
+	bad := []Config{
+		{}, // all zero
+		func() Config { c := DefaultConfig(ModeFast); c.Alpha, c.Beta = 0, 0; return c }(),
+		func() Config { c := DefaultConfig(ModeFast); c.Gamma = 3; return c }(), // odd
+		func() Config { c := DefaultConfig(ModeFast); c.Gamma = 0; return c }(), // zero
+		func() Config { c := DefaultConfig(ModeFast); c.ThetaM = -1; return c }(),
+		func() Config { c := DefaultConfig(ModeFast); c.StepSize = 0; return c }(),
+		func() Config { c := DefaultConfig(ModeFast); c.MaxIter = 0; return c }(),
+		func() Config { c := DefaultConfig(ModeFast); c.EPEThresholdNM = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(s, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(nil, DefaultConfig(ModeFast)); err == nil {
+		t.Error("nil simulator accepted")
+	}
+}
+
+func TestMaskParamsRoundTrip(t *testing.T) {
+	m := grid.FromRows([][]float64{{0.1, 0.5}, {0.9, 0.3}})
+	p := paramsFromMask(m, 4)
+	back := maskFromParams(p, 4)
+	if !back.Equal(m, 1e-9) {
+		t.Fatalf("round trip: %v vs %v", back.Data, m.Data)
+	}
+	// Binary masks are clamped, not infinite.
+	b := grid.FromRows([][]float64{{0, 1}})
+	pb := paramsFromMask(b, 4)
+	for _, v := range pb.Data {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatal("logit blew up on binary input")
+		}
+	}
+}
+
+func TestInitialMask(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	target := layout.Rasterize(o.Sim.Cfg.GridSize, o.Sim.Cfg.PixelNM)
+	o.Cfg.SRAFInit = false
+	if !o.InitialMask(target).Equal(target, 0) {
+		t.Fatal("without SRAF the initial mask must be the target")
+	}
+	o.Cfg.SRAFInit = true
+	withSRAF := o.InitialMask(target)
+	if withSRAF.Sum() <= target.Sum() {
+		t.Fatal("SRAF init added no pixels")
+	}
+}
+
+func TestRunGridMismatch(t *testing.T) {
+	o, _ := testOptimizer(t, ModeFast)
+	wrong := &geom.Layout{Name: "w", SizeNM: 999, Polys: []geom.Polygon{
+		geom.Rect{X: 100, Y: 100, W: 50, H: 50}.Polygon(),
+	}}
+	if _, err := o.Run(wrong); err == nil {
+		t.Fatal("grid/layout size mismatch accepted")
+	}
+}
+
+func TestRunInvalidLayout(t *testing.T) {
+	o, _ := testOptimizer(t, ModeFast)
+	bad := &geom.Layout{Name: "b", SizeNM: 512, Polys: []geom.Polygon{
+		{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 0}, {X: 2, Y: 2}},
+	}}
+	if _, err := o.Run(bad); err == nil {
+		t.Fatal("invalid layout accepted")
+	}
+}
+
+func TestRunImprovesOverNoOPC(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mask == nil || res.MaskGray == nil {
+		t.Fatal("missing masks")
+	}
+	for _, v := range res.Mask.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("final mask not binary: %g", v)
+		}
+	}
+	target := layout.Rasterize(o.Sim.Cfg.GridSize, o.Sim.Cfg.PixelNM)
+	rep0, err := metrics.Evaluate(o.Sim, target, layout, o.metricParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := metrics.Evaluate(o.Sim, res.Mask, layout, o.metricParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Score >= rep0.Score {
+		t.Fatalf("no improvement: %g -> %g", rep0.Score, rep.Score)
+	}
+}
+
+func TestRunExactMode(t *testing.T) {
+	o, layout := testOptimizer(t, ModeExact)
+	o.Cfg.MaxIter = 10
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history")
+	}
+	// The exact objective is a sum of per-sample sigmoids, bounded by the
+	// sample count.
+	nSamples := len(layout.SamplePoints(o.Cfg.EPESampleNM))
+	for _, st := range res.History {
+		if st.FTarget < 0 || st.FTarget > float64(nSamples) {
+			t.Fatalf("F_epe %g outside [0, %d]", st.FTarget, nSamples)
+		}
+	}
+}
+
+func TestBestIterateSelection(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minProxy := math.Inf(1)
+	for _, st := range res.History {
+		minProxy = math.Min(minProxy, st.ProxyScore)
+	}
+	if res.Objective != minProxy {
+		t.Fatalf("best objective %g != min proxy %g", res.Objective, minProxy)
+	}
+}
+
+func TestHistoryIterNumbers(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.MaxIter = 5
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.History {
+		if st.Iter != i {
+			t.Fatalf("history[%d].Iter = %d", i, st.Iter)
+		}
+		if st.GradRMS < 0 {
+			t.Fatal("negative gradient RMS")
+		}
+	}
+	if res.RuntimeSec <= 0 {
+		t.Fatal("runtime not measured")
+	}
+}
+
+func TestTrackMetricsFillsStats(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.MaxIter = 3
+	o.Cfg.TrackMetrics = true
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.History {
+		if st.Score <= 0 {
+			t.Fatalf("iteration %d: tracked score %g", st.Iter, st.Score)
+		}
+	}
+}
+
+func TestJumpKeepsSearching(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	// Force "convergence" instantly: with a huge tolerance every iteration
+	// looks converged, so the loop may only continue via jumps.
+	o.Cfg.GradTol = 1e12
+	o.Cfg.Jumps = 3
+	o.Cfg.MaxIter = 10
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 4 { // initial + 3 jumps
+		t.Fatalf("iterations %d, want 4 (1 + 3 jumps)", res.Iterations)
+	}
+	o.Cfg.Jumps = 0
+	res, err = o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("without jumps: %d iterations, want 1", res.Iterations)
+	}
+}
+
+func TestPlainQuadraticConfig(t *testing.T) {
+	// gamma = 2 (the prior-work quadratic objective) must be accepted.
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.Gamma = 2
+	o.Cfg.Beta = 0
+	o.Cfg.MaxIter = 3
+	if _, err := o.Run(layout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentumValidation(t *testing.T) {
+	o, _ := testOptimizer(t, ModeFast)
+	cfg := DefaultConfig(ModeFast)
+	cfg.Momentum = 1.0
+	if _, err := New(o.Sim, cfg); err == nil {
+		t.Fatal("momentum 1.0 accepted")
+	}
+	cfg.Momentum = -0.1
+	if _, err := New(o.Sim, cfg); err == nil {
+		t.Fatal("negative momentum accepted")
+	}
+	cfg.Momentum = 0.9
+	if _, err := New(o.Sim, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentumAcceleratesShortRuns(t *testing.T) {
+	// With a tight iteration budget, heavy-ball momentum must reach a
+	// better iterate than plain descent on the deterministic test clip.
+	run := func(mu float64) float64 {
+		o, layout := testOptimizer(t, ModeFast)
+		o.Cfg.Momentum = mu
+		res, err := o.Run(layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Objective
+	}
+	plain := run(0)
+	fast := run(0.8)
+	if fast >= plain {
+		t.Fatalf("momentum did not accelerate: %g vs %g", fast, plain)
+	}
+}

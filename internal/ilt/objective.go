@@ -1,0 +1,383 @@
+package ilt
+
+import (
+	"fmt"
+	"math"
+
+	"mosaic/internal/fft"
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/metrics"
+	"mosaic/internal/par"
+	"mosaic/internal/resist"
+	"mosaic/internal/sim"
+)
+
+// cornerModel bundles a process corner with the kernel stack the descent
+// loop images through: either the single Eq. 21 combined kernel or the
+// top-GradKernels SOCS kernels with weights renormalized to unit
+// open-frame intensity (so the resist threshold keeps its meaning under
+// truncation).
+type cornerModel struct {
+	c       sim.Corner
+	k       int // frequency block half-width
+	freqs   []*grid.CField
+	weights []float64
+}
+
+// buildCornerModel resolves the gradient kernel stack for one corner.
+func (o *Optimizer) buildCornerModel(c sim.Corner) (cornerModel, error) {
+	ks, err := o.Sim.Kernels(c.DefocusNM)
+	if err != nil {
+		return cornerModel{}, err
+	}
+	m := cornerModel{c: c, k: ks.K}
+	if o.Cfg.GradKernels <= 0 {
+		m.freqs = []*grid.CField{ks.Combined()}
+		m.weights = []float64{1}
+		return m, nil
+	}
+	n := o.Cfg.GradKernels
+	if n > len(ks.Freqs) {
+		n = len(ks.Freqs)
+	}
+	m.freqs = ks.Freqs[:n]
+	// Renormalize the truncated stack to unit open-frame intensity.
+	dc := 0.0
+	for i := 0; i < n; i++ {
+		v := ks.Freqs[i].At(ks.K, ks.K)
+		dc += ks.Weights[i] * (real(v)*real(v) + imag(v)*imag(v))
+	}
+	if dc <= 0 {
+		return cornerModel{}, fmt.Errorf("ilt: truncated kernel stack has zero open-frame intensity")
+	}
+	m.weights = make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.weights[i] = ks.Weights[i] / dc
+	}
+	return m, nil
+}
+
+// cornerState is the forward state at one corner for the current mask.
+type cornerState struct {
+	model  cornerModel
+	fields []*grid.CField // A_k = M conv h_k, one per gradient kernel
+	i      *grid.Field    // aerial intensity (before dose)
+	z      *grid.Field    // sigmoid printed pattern (Eq. 4, dose applied)
+}
+
+// iterState is everything the objective and gradient share in one
+// iteration.
+type iterState struct {
+	spec    *grid.CField // full FFT of the current mask
+	corners []cornerState
+	epeW    *grid.Field // exact mode: dF_epe/dD per pixel (weight-map form of Eq. 14)
+
+	objective float64
+	fTarget   float64
+	fPvb      float64
+	fSmooth   float64
+}
+
+// evalState runs the forward model at every corner and evaluates the
+// objective of the configured mode.
+func (o *Optimizer) evalState(mask *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) *iterState {
+	st := &iterState{spec: o.Sim.Spectrum(mask)}
+	for _, m := range models {
+		cs := cornerState{model: m, i: grid.New(mask.W, mask.H)}
+		cs.fields = make([]*grid.CField, len(m.freqs))
+		par.For(len(m.freqs), func(ki int) {
+			cs.fields[ki] = o.Sim.FieldFromSpectrum(st.spec, m.freqs[ki], m.k)
+		})
+		for ki, f := range cs.fields {
+			f.AccumAbs2(cs.i, m.weights[ki])
+		}
+		cs.z = o.Sim.Resist.PrintSigmoid(cs.i, m.c.Dose)
+		st.corners = append(st.corners, cs)
+	}
+
+	zNom := st.corners[0].z
+	switch o.Cfg.Mode {
+	case ModeFast:
+		st.fTarget = o.idObjective(zNom, target)
+	case ModeExact:
+		st.fTarget, st.epeW = o.epeObjective(zNom, target, samples)
+	}
+	for _, cs := range st.corners[1:] {
+		st.fPvb += o.pvbTerm(cs.z, target)
+	}
+	st.objective = o.Cfg.Alpha*st.fTarget + o.Cfg.Beta*st.fPvb
+	if o.Cfg.SmoothWeight > 0 {
+		st.fSmooth = smoothObjective(mask)
+		st.objective += o.Cfg.SmoothWeight * st.fSmooth
+	}
+	return st
+}
+
+// smoothObjective evaluates the mask-smoothness regularizer
+// sum (M(x+1,y)-M(x,y))^2 + (M(x,y+1)-M(x,y))^2 (forward differences,
+// Neumann boundary).
+func smoothObjective(m *grid.Field) float64 {
+	s := 0.0
+	for y := 0; y < m.H; y++ {
+		row := m.Row(y)
+		for x := 0; x < m.W; x++ {
+			if x+1 < m.W {
+				d := row[x+1] - row[x]
+				s += d * d
+			}
+			if y+1 < m.H {
+				d := m.At(x, y+1) - row[x]
+				s += d * d
+			}
+		}
+	}
+	return s
+}
+
+// smoothGradient accumulates w * dF_smooth/dM into grad: the discrete
+// Laplacian form 2*(degree*M - sum of neighbors) with Neumann boundaries.
+func smoothGradient(grad, m *grid.Field, w float64) {
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			v := m.At(x, y)
+			g := 0.0
+			if x+1 < m.W {
+				g += v - m.At(x+1, y)
+			}
+			if x > 0 {
+				g += v - m.At(x-1, y)
+			}
+			if y+1 < m.H {
+				g += v - m.At(x, y+1)
+			}
+			if y > 0 {
+				g += v - m.At(x, y-1)
+			}
+			grad.Set(x, y, grad.At(x, y)+2*w*g)
+		}
+	}
+}
+
+// idObjective evaluates F_id = sum (Z_nom - Z_t)^gamma (Eq. 16).
+func (o *Optimizer) idObjective(z, target *grid.Field) float64 {
+	g := int(o.Cfg.Gamma)
+	s := 0.0
+	for i, v := range z.Data {
+		s += ipow(v-target.Data[i], g)
+	}
+	return s
+}
+
+// pvbTerm evaluates one corner's contribution to F_pvb = sum (Z_k - Z_t)^2
+// (Eq. 18).
+func (o *Optimizer) pvbTerm(z, target *grid.Field) float64 {
+	s := 0.0
+	for i, v := range z.Data {
+		d := v - target.Data[i]
+		s += d * d
+	}
+	return s
+}
+
+// epeObjective evaluates F_epe (Eq. 12) and simultaneously builds the
+// per-pixel weight map used by its gradient.
+//
+// Paper formulation: at each sample s, Dsum_s sums the squared image
+// difference D = (Z_nom - Z_t)^2 over a window of +/-th_epe along the edge
+// normal (Eq. 9); the violation indicator is relaxed to
+// sig(theta_epe * (Dsum_s - w)) where w is th_epe expressed in pixels — a
+// printed edge displaced by exactly th_epe contributes ~w to Dsum (Eq. 11).
+// F_epe = sum_s sig(...) over the HS and VS sample sets.
+//
+// Gradient (Eq. 13-15): by the chain rule,
+//
+//	dF/dD(p) = sum_{s : p in win(s)} theta_epe * g_s * (1 - g_s) =: W(p)
+//	dF/dM    = sum_p W(p) * dD(p)/dM
+//
+// so the closed form of Eq. 14 reduces to the standard quadratic
+// image-difference gradient weighted per pixel by W, which evalState's
+// caller applies in gradient().
+func (o *Optimizer) epeObjective(z, target *grid.Field, samples []geom.Sample) (float64, *grid.Field) {
+	px := o.Sim.Cfg.PixelNM
+	w := int(math.Round(o.Cfg.EPEThresholdNM / px))
+	if w < 1 {
+		w = 1
+	}
+	n := z.W
+	weights := grid.NewLike(z)
+	f := 0.0
+	for _, s := range samples {
+		sx := clampInt(int(s.Pt.X/px), 0, n-1)
+		sy := clampInt(int(s.Pt.Y/px), 0, n-1)
+		dsum := 0.0
+		if s.Horizontal {
+			// Horizontal edge: the printed edge moves vertically; scan rows.
+			for dy := -w; dy <= w; dy++ {
+				y := sy + dy
+				if y < 0 || y >= n {
+					continue
+				}
+				d := z.At(sx, y) - target.At(sx, y)
+				dsum += d * d
+			}
+		} else {
+			for dx := -w; dx <= w; dx++ {
+				x := sx + dx
+				if x < 0 || x >= n {
+					continue
+				}
+				d := z.At(x, sy) - target.At(x, sy)
+				dsum += d * d
+			}
+		}
+		g := resist.Sig(dsum, float64(w), o.Cfg.ThetaEPE)
+		f += g
+		dw := o.Cfg.ThetaEPE * g * (1 - g)
+		if s.Horizontal {
+			for dy := -w; dy <= w; dy++ {
+				y := sy + dy
+				if y >= 0 && y < n {
+					weights.Set(sx, y, weights.At(sx, y)+dw)
+				}
+			}
+		} else {
+			for dx := -w; dx <= w; dx++ {
+				x := sx + dx
+				if x >= 0 && x < n {
+					weights.Set(x, sy, weights.At(x, sy)+dw)
+				}
+			}
+		}
+	}
+	return f, weights
+}
+
+// proxyMetrics estimates the true Eq. 7 quantities from the iteration's
+// combined-kernel intensities: EPE violations measured on the nominal
+// aerial image and the PV-band area from hard prints at every corner.
+// These track the full-SOCS contest metrics closely at a tiny fraction of
+// their cost, and drive best-iterate selection (Alg. 1 line 9).
+func (o *Optimizer) proxyMetrics(st *iterState, samples []geom.Sample) (epe int, pvbNM2 float64) {
+	px := o.Sim.Cfg.PixelNM
+	mp := o.metricParams()
+	res := metrics.MeasureEPE(st.corners[0].i, 1, o.Sim.Resist.Threshold, px, samples, mp)
+	epe = metrics.CountViolations(res)
+	printed := make([]*grid.Field, len(st.corners))
+	for i, cs := range st.corners {
+		printed[i] = o.Sim.Resist.Print(cs.i, cs.model.c.Dose)
+	}
+	_, pvbNM2 = metrics.PVBand(printed, px)
+	return epe, pvbNM2
+}
+
+// gradient computes dF/dM for the current state (before the Eq. 8 chain
+// through the mask relaxation, which the caller applies).
+//
+// Every objective term has the form sum_p phi(Z_c(p)); backpropagation
+// through the resist sigmoid (Eq. 4) and the coherent convolution gives
+//
+//	dF/dM = sum_c 2 * Re{ conj(H_c) corr [ W_c .* A_c ] }
+//	W_c   = dF/dZ_c * theta_Z * Z_c(1-Z_c) * dose_c
+//
+// which is exactly the closed forms of Eq. 14/15 (exact mode, with the EPE
+// weight map folded into dF/dZ) and Eq. 17 (fast mode). The correlation is
+// evaluated in the frequency domain using the same band-limited kernels.
+func (o *Optimizer) gradient(st *iterState, mask *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) *grid.Field {
+	cfg := o.Cfg
+	thetaZ := o.Sim.Resist.ThetaZ
+	grad := grid.NewLike(mask)
+
+	for ci, cs := range st.corners {
+		// dF/dZ_c for this corner.
+		dFdZ := grid.NewLike(mask)
+		nonzero := false
+		if ci == 0 {
+			switch cfg.Mode {
+			case ModeFast:
+				g := int(cfg.Gamma)
+				for i, v := range cs.z.Data {
+					dFdZ.Data[i] = cfg.Alpha * float64(g) * ipow(v-target.Data[i], g-1)
+				}
+			case ModeExact:
+				for i, v := range cs.z.Data {
+					dFdZ.Data[i] = cfg.Alpha * st.epeW.Data[i] * 2 * (v - target.Data[i])
+				}
+			}
+			nonzero = cfg.Alpha != 0
+		} else {
+			for i, v := range cs.z.Data {
+				dFdZ.Data[i] = cfg.Beta * 2 * (v - target.Data[i])
+			}
+			nonzero = cfg.Beta != 0
+		}
+		if !nonzero {
+			continue
+		}
+		// W_c = dF/dZ * theta_Z * Z(1-Z) * dose.
+		dose := cs.model.c.Dose
+		for i, zv := range cs.z.Data {
+			dFdZ.Data[i] *= thetaZ * zv * (1 - zv) * dose
+		}
+
+		// Per-kernel correlation gradients are independent: compute them in
+		// parallel and reduce.
+		partial := make([]*grid.Field, len(cs.model.freqs))
+		par.For(len(cs.model.freqs), func(ki int) {
+			partial[ki] = o.corrGrad(dFdZ, cs.fields[ki], cs.model.freqs[ki], cs.model.k, 2*cs.model.weights[ki])
+		})
+		for _, p := range partial {
+			grad.Add(p)
+		}
+	}
+	if cfg.SmoothWeight > 0 {
+		smoothGradient(grad, mask, cfg.SmoothWeight)
+	}
+	return grad
+}
+
+// corrGrad returns scale * Re{ conj(kf) corr (w .* a) }, the contribution
+// of one kernel to dF/dM, with the correlation evaluated through the
+// band-limited frequency block.
+func (o *Optimizer) corrGrad(w *grid.Field, a *grid.CField, kf *grid.CField, k int, scale float64) *grid.Field {
+	n := w.W
+	term := grid.NewC(n, n)
+	for i, av := range a.Data {
+		term.Data[i] = av * complex(w.Data[i], 0)
+	}
+	fft.Forward2D(term)
+	out := grid.NewC(n, n)
+	for dy := -k; dy <= k; dy++ {
+		sy := (dy + n) % n
+		for dx := -k; dx <= k; dx++ {
+			sx := (dx + n) % n
+			kv := kf.At(dx+k, dy+k)
+			out.Set(sx, sy, term.At(sx, sy)*complex(real(kv), -imag(kv)))
+		}
+	}
+	fft.Inverse2D(out)
+	g := grid.New(n, n)
+	for i, v := range out.Data {
+		g.Data[i] = scale * real(v)
+	}
+	return g
+}
+
+// ipow computes x^k for small non-negative integer k.
+func ipow(x float64, k int) float64 {
+	r := 1.0
+	for ; k > 0; k-- {
+		r *= x
+	}
+	return r
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

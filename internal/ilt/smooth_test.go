@@ -1,0 +1,53 @@
+package ilt
+
+import (
+	"testing"
+
+	"mosaic/internal/metrics"
+)
+
+func TestSmoothObjectiveValues(t *testing.T) {
+	// Uniform mask: zero roughness.
+	o, layout := testOptimizer(t, ModeFast)
+	_ = o
+	target := layout.Rasterize(64, 8)
+	uniform := target.Clone().Fill(0.5)
+	if got := smoothObjective(uniform); got != 0 {
+		t.Fatalf("uniform mask roughness %g", got)
+	}
+	// Binary pattern has positive roughness equal to twice the boundary
+	// length in pixel transitions... simply: positive.
+	if got := smoothObjective(target); got <= 0 {
+		t.Fatalf("patterned mask roughness %g", got)
+	}
+}
+
+func TestSmoothWeightTradesComplexityForFidelity(t *testing.T) {
+	run := func(w float64) (metrics.Complexity, float64) {
+		o, layout := testOptimizer(t, ModeFast)
+		o.Cfg.SmoothWeight = w
+		o.Cfg.MaxIter = 12
+		res, err := o.Run(layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := metrics.Evaluate(o.Sim, res.Mask, layout, o.metricParams(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.MaskComplexity(res.Mask), rep.Score
+	}
+	// A strong weight must visibly smooth the mask; mild weights are in
+	// the per-run noise on this coarse test grid.
+	rough, roughScore := run(0)
+	smooth, smoothScore := run(32)
+	if smooth.EdgePixels >= rough.EdgePixels {
+		t.Fatalf("regularizer did not reduce edges: %d -> %d",
+			rough.EdgePixels, smooth.EdgePixels)
+	}
+	// ...and it costs image fidelity: the unregularized run scores better.
+	if roughScore >= smoothScore {
+		t.Fatalf("expected a fidelity cost: score %g (w=0) vs %g (w=32)",
+			roughScore, smoothScore)
+	}
+}

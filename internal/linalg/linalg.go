@@ -1,0 +1,374 @@
+// Package linalg provides the dense linear algebra needed to turn a Hopkins
+// transmission-cross-coefficient (TCC) matrix into a sum-of-coherent-systems
+// (SOCS) kernel set: complex matrix/vector kernels, modified Gram-Schmidt
+// orthonormalization, a cyclic Jacobi eigensolver for small real symmetric
+// matrices, and subspace iteration with Rayleigh-Ritz projection for the
+// leading eigenpairs of large Hermitian positive semi-definite operators.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CMatrix is a dense complex matrix with R rows and C columns, row-major.
+type CMatrix struct {
+	R, C int
+	Data []complex128
+}
+
+// NewCMatrix returns a zeroed r x c complex matrix.
+func NewCMatrix(r, c int) *CMatrix {
+	return &CMatrix{R: r, C: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.C+j] }
+
+// Set stores v at element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.C+j] = v }
+
+// Row returns the backing slice of row i (shared).
+func (m *CMatrix) Row(i int) []complex128 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// MatVec computes y = m * x. len(x) must equal m.C; the result has length
+// m.R.
+func (m *CMatrix) MatVec(x []complex128) []complex128 {
+	if len(x) != m.C {
+		panic(fmt.Sprintf("linalg: MatVec dimension mismatch %d vs %d", len(x), m.C))
+	}
+	y := make([]complex128, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// IsHermitian reports whether m is square and equal to its conjugate
+// transpose within tol.
+func (m *CMatrix) IsHermitian(tol float64) bool {
+	if m.R != m.C {
+		return false
+	}
+	for i := 0; i < m.R; i++ {
+		for j := i; j < m.C; j++ {
+			if cmplx.Abs(m.At(i, j)-cmplx.Conj(m.At(j, i))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dot returns the Hermitian inner product conj(a) . b.
+func Dot(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s complex128
+	for i, v := range a {
+		s += cmplx.Conj(v) * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []complex128) float64 {
+	s := 0.0
+	for _, x := range v {
+		re, im := real(x), imag(x)
+		s += re*re + im*im
+	}
+	return math.Sqrt(s)
+}
+
+// Orthonormalize applies modified Gram-Schmidt to the columns stored in
+// vecs (each vecs[i] is one column vector). Vectors that become numerically
+// zero are replaced by deterministic pseudo-random vectors re-orthogonalized
+// against the preceding ones, so the output always has full rank.
+func Orthonormalize(vecs [][]complex128) {
+	if len(vecs) == 0 {
+		return
+	}
+	n := len(vecs[0])
+	rng := newLCG(0x9E3779B97F4A7C15)
+	for i := range vecs {
+		for attempt := 0; ; attempt++ {
+			for j := 0; j < i; j++ {
+				p := Dot(vecs[j], vecs[i])
+				for k := range vecs[i] {
+					vecs[i][k] -= p * vecs[j][k]
+				}
+			}
+			nrm := Norm(vecs[i])
+			if nrm > 1e-12 {
+				inv := complex(1/nrm, 0)
+				for k := range vecs[i] {
+					vecs[i][k] *= inv
+				}
+				break
+			}
+			if attempt > 4 {
+				panic("linalg: cannot orthonormalize; space exhausted")
+			}
+			for k := 0; k < n; k++ {
+				vecs[i][k] = complex(rng.float(), rng.float())
+			}
+		}
+	}
+}
+
+// lcg is a tiny deterministic pseudo-random generator, used only to seed
+// iterative eigensolvers reproducibly (results are refined to convergence,
+// so the seed does not affect outputs beyond tolerance).
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s
+}
+
+func (l *lcg) float() float64 {
+	return float64(l.next()>>11)/(1<<53) - 0.5
+}
+
+// JacobiSym diagonalizes the real symmetric matrix a (n x n, row-major,
+// modified in place) by the cyclic Jacobi method. It returns the
+// eigenvalues and the matrix of eigenvectors (column j corresponds to
+// eigenvalue j), unsorted.
+func JacobiSym(a []float64, n int) (eig []float64, vecs []float64) {
+	if len(a) != n*n {
+		panic("linalg: JacobiSym size mismatch")
+	}
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i*n+j] * a[i*n+j]
+			}
+		}
+		if off < 1e-26*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a[p*n+p], a[q*n+q]
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Update rows/columns p and q of a.
+				for k := 0; k < n; k++ {
+					akp, akq := a[k*n+p], a[k*n+q]
+					a[k*n+p] = c*akp - s*akq
+					a[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p*n+k], a[q*n+k]
+					a[p*n+k] = c*apk - s*aqk
+					a[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	eig = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = a[i*n+i]
+	}
+	return eig, v
+}
+
+// HermEigSmall computes the full eigendecomposition of a small dense
+// Hermitian matrix h via the real symmetric embedding
+// [[X, -Y], [Y, X]] of h = X + iY. Eigenvalues are returned in descending
+// order with matching unit-norm complex eigenvectors.
+//
+// The embedding doubles every eigenvalue's multiplicity; duplicates are
+// collapsed by taking every other sorted pair, which is valid because the
+// embedded eigenvectors (u; v) and (-v; u) map to complex eigenvectors
+// u + iv that differ only by a phase.
+func HermEigSmall(h *CMatrix) (eig []float64, vecs [][]complex128) {
+	if h.R != h.C {
+		panic("linalg: HermEigSmall requires a square matrix")
+	}
+	n := h.R
+	m := 2 * n
+	a := make([]float64, m*m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := real(h.At(i, j))
+			y := imag(h.At(i, j))
+			a[i*m+j] = x
+			a[(i+n)*m+j+n] = x
+			a[i*m+j+n] = -y
+			a[(i+n)*m+j] = y
+		}
+	}
+	ev, v := JacobiSym(a, m)
+	// Sort indices by eigenvalue descending.
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < m; i++ { // insertion sort; m is small
+		for j := i; j > 0 && ev[idx[j]] > ev[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	eig = make([]float64, 0, n)
+	vecs = make([][]complex128, 0, n)
+	for _, id := range idx {
+		if len(eig) == n {
+			break
+		}
+		// Build the candidate complex eigenvector u + iv.
+		cand := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			cand[k] = complex(v[k*m+id], v[(k+n)*m+id])
+		}
+		// Skip duplicates of the degenerate embedded pair: reject if the
+		// candidate is (numerically) in the span of already-accepted vectors
+		// with the same eigenvalue.
+		for _, w := range vecs {
+			p := Dot(w, cand)
+			for k := range cand {
+				cand[k] -= p * w[k]
+			}
+		}
+		nrm := Norm(cand)
+		if nrm < 1e-8 {
+			continue
+		}
+		inv := complex(1/nrm, 0)
+		for k := range cand {
+			cand[k] *= inv
+		}
+		eig = append(eig, ev[id])
+		vecs = append(vecs, cand)
+	}
+	return eig, vecs
+}
+
+// HermOp is a Hermitian linear operator on complex vectors. Dim returns the
+// vector length and Apply computes y = A x into a fresh slice.
+type HermOp interface {
+	Dim() int
+	Apply(x []complex128) []complex128
+}
+
+// HermEigTopK computes the k algebraically largest eigenpairs of the
+// Hermitian positive semi-definite operator op by blocked subspace
+// iteration with Rayleigh-Ritz projection. Eigenvalues are returned in
+// descending order. maxIter bounds the number of iterations; tol is the
+// relative residual tolerance per eigenpair.
+func HermEigTopK(op HermOp, k, maxIter int, tol float64) (eig []float64, vecs [][]complex128) {
+	n := op.Dim()
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("linalg: HermEigTopK k=%d out of range for dim %d", k, n))
+	}
+	// Oversample the block for faster convergence of the trailing pairs.
+	b := k + k/2 + 2
+	if b > n {
+		b = n
+	}
+	rng := newLCG(0xC0FFEE123456789)
+	v := make([][]complex128, b)
+	for i := range v {
+		v[i] = make([]complex128, n)
+		for j := range v[i] {
+			v[i][j] = complex(rng.float(), rng.float())
+		}
+	}
+	Orthonormalize(v)
+
+	av := make([][]complex128, b)
+	prev := make([]float64, b)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range v {
+			av[i] = op.Apply(v[i])
+		}
+		// Rayleigh-Ritz values on the current span, for convergence tracking.
+		s := NewCMatrix(b, b)
+		for i := 0; i < b; i++ {
+			for j := 0; j < b; j++ {
+				s.Set(i, j, Dot(v[i], av[j]))
+			}
+		}
+		ev, _ := HermEigSmall(s)
+		done := iter > 0
+		for i := 0; i < k; i++ {
+			ref := math.Abs(ev[0])
+			if ref < 1e-300 {
+				ref = 1
+			}
+			if math.Abs(ev[i]-prev[i]) > tol*ref {
+				done = false
+			}
+		}
+		copy(prev, ev)
+		if done {
+			break
+		}
+		// Power step: advance the subspace to span(A V) and re-orthonormalize.
+		for i := range v {
+			copy(v[i], av[i])
+		}
+		Orthonormalize(v)
+	}
+	// Final Rayleigh-Ritz rotation aligns the basis with the eigenvectors.
+	for i := range v {
+		av[i] = op.Apply(v[i])
+	}
+	s := NewCMatrix(b, b)
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s.Set(i, j, Dot(v[i], av[j]))
+		}
+	}
+	ev, u := HermEigSmall(s)
+	eig = make([]float64, k)
+	vecs = make([][]complex128, k)
+	for i := 0; i < k; i++ {
+		eig[i] = ev[i]
+		w := make([]complex128, n)
+		for j := 0; j < b; j++ {
+			c := u[i][j]
+			if c == 0 {
+				continue
+			}
+			for t := 0; t < n; t++ {
+				w[t] += c * v[j][t]
+			}
+		}
+		vecs[i] = w
+	}
+	return eig, vecs
+}

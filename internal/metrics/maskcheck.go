@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+)
+
+// This file adds mask manufacturability metrics. ILT masks are free-form
+// pixel patterns, and the paper's introduction cites e-beam writing time
+// (ref. [6]) as the price of that freedom: more mask edges means more
+// shots. Complexity counts the edges; MRC flags features a mask shop
+// would reject.
+
+// Complexity summarizes a binary mask's geometric complexity.
+type Complexity struct {
+	AreaPixels   int // mask pixels set
+	EdgePixels   int // pixel-boundary transitions (horizontal + vertical)
+	Fragments    int // 4-connected mask components (main features + SRAFs)
+	ShotEstimate int // crude VSB shot proxy: fragments + edge pixels / 8
+}
+
+// MaskComplexity measures a binarized mask.
+func MaskComplexity(mask *grid.Field) Complexity {
+	var c Complexity
+	w, h := mask.W, mask.H
+	on := func(x, y int) bool {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return false
+		}
+		return mask.At(x, y) > 0
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !on(x, y) {
+				continue
+			}
+			c.AreaPixels++
+			if !on(x-1, y) {
+				c.EdgePixels++
+			}
+			if !on(x+1, y) {
+				c.EdgePixels++
+			}
+			if !on(x, y-1) {
+				c.EdgePixels++
+			}
+			if !on(x, y+1) {
+				c.EdgePixels++
+			}
+		}
+	}
+	_, c.Fragments = geom.Components(mask)
+	c.ShotEstimate = c.Fragments + c.EdgePixels/8
+	return c
+}
+
+// MRCViolation is one mask-rule-check finding.
+type MRCViolation struct {
+	X, Y   int    // pixel position of the violating run's start
+	Kind   string // "width" or "space"
+	RunNM  float64
+	AlongX bool
+}
+
+// MRC scans a binary mask for feature runs narrower than minWidthNM and
+// gaps narrower than minSpaceNM, along both axes. Gaps touching the mask
+// border are not counted as spaces (the clip boundary is not a feature).
+func MRC(mask *grid.Field, pixelNM, minWidthNM, minSpaceNM float64) []MRCViolation {
+	var out []MRCViolation
+	scan := func(alongX bool, lineCount, lineLen int, at func(line, i int) float64, loc func(line, i int) (int, int)) {
+		for l := 0; l < lineCount; l++ {
+			i := 0
+			for i < lineLen {
+				v := at(l, i)
+				j := i
+				for j < lineLen && (at(l, j) > 0) == (v > 0) {
+					j++
+				}
+				runNM := float64(j-i) * pixelNM
+				x, y := loc(l, i)
+				if v > 0 && runNM < minWidthNM {
+					out = append(out, MRCViolation{X: x, Y: y, Kind: "width", RunNM: runNM, AlongX: alongX})
+				}
+				if v == 0 && i > 0 && j < lineLen && runNM < minSpaceNM {
+					out = append(out, MRCViolation{X: x, Y: y, Kind: "space", RunNM: runNM, AlongX: alongX})
+				}
+				i = j
+			}
+		}
+	}
+	scan(true, mask.H, mask.W,
+		func(line, i int) float64 { return mask.At(i, line) },
+		func(line, i int) (int, int) { return i, line })
+	scan(false, mask.W, mask.H,
+		func(line, i int) float64 { return mask.At(line, i) },
+		func(line, i int) (int, int) { return line, i })
+	return out
+}

@@ -1,0 +1,243 @@
+// Package metrics implements the evaluation side of the paper: edge
+// placement error (EPE) measurement along target-edge normals with
+// violation counting (th_epe = 15 nm), the process-variability band of
+// Fig. 4 (area between outermost and innermost printed edges over all
+// process corners), shape violations (holes in the printed contour), and
+// the ICCAD 2013 contest score of Eq. 22 that combines them.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/sim"
+)
+
+// Params collects the evaluation constants from the paper and contest.
+type Params struct {
+	EPEThresholdNM float64 // th_epe, paper: 15 nm
+	EPESampleNM    float64 // sample pitch along boundaries, paper: 40 nm
+	EPESearchNM    float64 // normal search range for the printed edge
+	DefocusNM      float64 // process window half-range, paper: 25 nm
+	DoseDelta      float64 // dose half-range, paper: 0.02
+}
+
+// DefaultParams returns the paper's evaluation constants.
+func DefaultParams() Params {
+	return Params{
+		EPEThresholdNM: 15,
+		EPESampleNM:    40,
+		EPESearchNM:    40,
+		DefocusNM:      25,
+		DoseDelta:      0.02,
+	}
+}
+
+// Score weights reconstructed from the ICCAD 2013 problem-C scoring
+// function (Eq. 22; the OCR of the paper lost the numeric coefficients).
+// The paper states runtime contributes well under 1% of the total, and PVB
+// appears with weight 4, consistent with these values.
+const (
+	ScoreWeightPVB     = 4     // per nm^2 of PV band
+	ScoreWeightEPE     = 5000  // per EPE violation
+	ScoreWeightShape   = 10000 // per shape violation (hole)
+	ScoreWeightRuntime = 1     // per second
+)
+
+// Score evaluates Eq. 22.
+func Score(runtimeSec, pvbNM2 float64, epeViolations, shapeViolations int) float64 {
+	return ScoreWeightRuntime*runtimeSec +
+		ScoreWeightPVB*pvbNM2 +
+		ScoreWeightEPE*float64(epeViolations) +
+		ScoreWeightShape*float64(shapeViolations)
+}
+
+// EPEResult is the measurement at one sample point.
+type EPEResult struct {
+	Sample    geom.Sample
+	EPENM     float64 // |edge displacement| in nm; +Inf when no edge found
+	SignedNM  float64 // displacement along the inward normal: positive when the printed edge lies inside the feature (under-printing)
+	Violation bool
+}
+
+// bilinear samples f at a physical position (nm) given the pixel size,
+// clamping to the grid.
+func bilinear(f *grid.Field, xNM, yNM, pixelNM float64) float64 {
+	// Pixel centers sit at (i+0.5)*pixelNM.
+	fx := xNM/pixelNM - 0.5
+	fy := yNM/pixelNM - 0.5
+	x0 := int(math.Floor(fx))
+	y0 := int(math.Floor(fy))
+	tx := fx - float64(x0)
+	ty := fy - float64(y0)
+	at := func(x, y int) float64 {
+		if x < 0 {
+			x = 0
+		}
+		if x > f.W-1 {
+			x = f.W - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y > f.H-1 {
+			y = f.H - 1
+		}
+		return f.At(x, y)
+	}
+	return (1-tx)*(1-ty)*at(x0, y0) + tx*(1-ty)*at(x0+1, y0) +
+		(1-tx)*ty*at(x0, y0+1) + tx*ty*at(x0+1, y0+1)
+}
+
+// MeasureEPE measures the edge placement error at every sample point by
+// scanning the aerial image (scaled by dose) along the edge normal for the
+// threshold crossing nearest the target edge. A sample is a violation when
+// the printed edge is displaced by more than p.EPEThresholdNM, or when no
+// printed edge exists within p.EPESearchNM of the target edge.
+func MeasureEPE(aerial *grid.Field, dose, threshold, pixelNM float64, samples []geom.Sample, p Params) []EPEResult {
+	out := make([]EPEResult, len(samples))
+	stepNM := pixelNM / 2
+	if stepNM > 1 {
+		stepNM = 1
+	}
+	n := int(p.EPESearchNM/stepNM) + 1
+	for si, s := range samples {
+		// Scan t in [-search, +search] along the inward normal; positive t is
+		// inside the feature. Record intensity relative to threshold and find
+		// the sign change nearest t = 0.
+		best := math.Inf(1)
+		prevT := -p.EPESearchNM
+		prevV := bilinear(aerial, s.Pt.X+s.InwardX*prevT, s.Pt.Y+s.InwardY*prevT, pixelNM)*dose - threshold
+		for i := 1; i <= 2*n; i++ {
+			t := -p.EPESearchNM + float64(i)*stepNM
+			v := bilinear(aerial, s.Pt.X+s.InwardX*t, s.Pt.Y+s.InwardY*t, pixelNM)*dose - threshold
+			if (prevV < 0 && v >= 0) || (prevV >= 0 && v < 0) {
+				// Linear interpolation of the crossing position.
+				frac := 0.0
+				if v != prevV {
+					frac = -prevV / (v - prevV)
+				}
+				cross := prevT + frac*stepNM
+				if math.Abs(cross) < math.Abs(best) {
+					best = cross
+				}
+			}
+			prevT, prevV = t, v
+		}
+		r := EPEResult{Sample: s}
+		if math.IsInf(best, 1) {
+			r.EPENM = math.Inf(1)
+			r.SignedNM = math.Inf(1)
+			r.Violation = true
+		} else {
+			r.EPENM = math.Abs(best)
+			r.SignedNM = best
+			r.Violation = r.EPENM > p.EPEThresholdNM
+		}
+		out[si] = r
+	}
+	return out
+}
+
+// CountViolations returns the number of violating samples.
+func CountViolations(rs []EPEResult) int {
+	n := 0
+	for _, r := range rs {
+		if r.Violation {
+			n++
+		}
+	}
+	return n
+}
+
+// PVBand computes the process-variability band from printed images at all
+// process corners (Fig. 4): the set of pixels printed under at least one
+// corner but not under all corners. It returns the band as a binary field
+// and its area in nm^2.
+func PVBand(printed []*grid.Field, pixelNM float64) (band *grid.Field, areaNM2 float64) {
+	if len(printed) == 0 {
+		panic("metrics: PVBand needs at least one printed image")
+	}
+	union := printed[0].Clone()
+	inter := printed[0].Clone()
+	for _, z := range printed[1:] {
+		for i, v := range z.Data {
+			if v > 0 {
+				union.Data[i] = 1
+			} else {
+				inter.Data[i] = 0
+			}
+		}
+	}
+	band = union.Sub(inter)
+	count := 0
+	for _, v := range band.Data {
+		if v > 0 {
+			count++
+		}
+	}
+	return band, float64(count) * pixelNM * pixelNM
+}
+
+// ShapeViolations counts holes in the nominal printed image. The contest's
+// shape term penalizes non-printable artifacts; the paper reports zero for
+// all MOSAIC results.
+func ShapeViolations(printedNominal *grid.Field) int {
+	return geom.CountHoles(printedNominal)
+}
+
+// Report is a full evaluation of one mask against one target layout.
+type Report struct {
+	Testcase        string
+	EPEViolations   int
+	EPEResults      []EPEResult
+	PVBandNM2       float64
+	PVBand          *grid.Field
+	ShapeViolations int
+	RuntimeSec      float64
+	Score           float64
+	PrintedNominal  *grid.Field
+	AerialNominal   *grid.Field
+}
+
+// Evaluate runs the full-SOCS forward simulation of mask at every process
+// corner and produces the contest metrics against layout. runtimeSec is
+// the optimization wall time to be folded into the score (pass 0 to score
+// quality only).
+func Evaluate(s *sim.Simulator, mask *grid.Field, layout *geom.Layout, p Params, runtimeSec float64) (*Report, error) {
+	corners := sim.ProcessCorners(p.DefocusNM, p.DoseDelta)
+	printed := make([]*grid.Field, len(corners))
+	var aerialNominal *grid.Field
+	for i, c := range corners {
+		aerial, err := s.Aerial(mask, c)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: simulating corner %s: %w", c.Name, err)
+		}
+		printed[i] = s.PrintHard(aerial, c)
+		if c.DefocusNM == 0 && c.Dose == 1 {
+			aerialNominal = aerial
+		}
+	}
+	if aerialNominal == nil {
+		return nil, fmt.Errorf("metrics: corner set lacks the nominal condition")
+	}
+	samples := layout.SamplePoints(p.EPESampleNM)
+	epes := MeasureEPE(aerialNominal, 1, s.Resist.Threshold, s.Cfg.PixelNM, samples, p)
+	band, area := PVBand(printed, s.Cfg.PixelNM)
+	shape := ShapeViolations(printed[0])
+	nEPE := CountViolations(epes)
+	return &Report{
+		Testcase:        layout.Name,
+		EPEViolations:   nEPE,
+		EPEResults:      epes,
+		PVBandNM2:       area,
+		PVBand:          band,
+		ShapeViolations: shape,
+		RuntimeSec:      runtimeSec,
+		Score:           Score(runtimeSec, area, nEPE, shape),
+		PrintedNominal:  printed[0],
+		AerialNominal:   aerialNominal,
+	}, nil
+}

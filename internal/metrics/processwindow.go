@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"mosaic/internal/grid"
+	"mosaic/internal/sim"
+)
+
+// This file extends the paper's corner-based process-window treatment to a
+// full window *analysis*: critical dimension (CD) measured through a
+// focus x dose matrix (Bossung data) and the depth of focus extracted from
+// it. The paper optimizes the PV band over three corners; these tools
+// quantify how much usable window the optimized mask actually gained —
+// the study its Sec. 5 conclusion points toward.
+
+// Cutline defines where a CD is measured: a 1-D scan through the printed
+// image. The scan runs along x at height Y when Horizontal, else along y
+// at column X, and the CD is the printed run containing the point (X, Y).
+type Cutline struct {
+	X, Y       float64 // nm; point inside the feature being measured
+	Horizontal bool    // scan direction: true = along x
+}
+
+// MeasureCD returns the printed line width in nm at the cutline: the
+// length of the contiguous above-threshold run of the aerial image
+// (scaled by dose) containing the cutline point. It returns 0 when the
+// feature does not print there.
+func MeasureCD(aerial *grid.Field, dose, threshold, pixelNM float64, cut Cutline) float64 {
+	stepNM := pixelNM / 2
+	at := func(t float64) float64 {
+		if cut.Horizontal {
+			return bilinear(aerial, t, cut.Y, pixelNM)*dose - threshold
+		}
+		return bilinear(aerial, cut.X, t, pixelNM)*dose - threshold
+	}
+	center := cut.X
+	if !cut.Horizontal {
+		center = cut.Y
+	}
+	if at(center) <= 0 {
+		return 0
+	}
+	span := float64(aerial.W) * pixelNM
+	// Walk outward to both threshold crossings, then refine linearly.
+	edge := func(dir float64) float64 {
+		prev := center
+		for t := center + dir*stepNM; t > 0 && t < span; t += dir * stepNM {
+			if at(t) <= 0 {
+				// Crossing between prev and t.
+				v0, v1 := at(prev), at(t)
+				frac := 0.0
+				if v1 != v0 {
+					frac = v0 / (v0 - v1)
+				}
+				return prev + frac*(t-prev)
+			}
+			prev = t
+		}
+		return prev
+	}
+	lo := edge(-1)
+	hi := edge(+1)
+	return hi - lo
+}
+
+// PWPoint is one (defocus, dose) sample of the process-window matrix.
+type PWPoint struct {
+	DefocusNM float64
+	Dose      float64
+	CDNM      float64
+}
+
+// ProcessWindow evaluates the CD through a defocus x dose matrix — the
+// data behind a Bossung plot. The mask is imaged once per defocus value
+// (dose only rescales intensity, so it is swept for free).
+func ProcessWindow(s *sim.Simulator, mask *grid.Field, cut Cutline, defocusNM, doses []float64) ([]PWPoint, error) {
+	if len(defocusNM) == 0 || len(doses) == 0 {
+		return nil, fmt.Errorf("metrics: empty process-window sweep")
+	}
+	var out []PWPoint
+	for _, df := range defocusNM {
+		aerial, err := s.Aerial(mask, sim.Corner{Name: "pw", DefocusNM: df, Dose: 1})
+		if err != nil {
+			return nil, err
+		}
+		for _, dose := range doses {
+			cd := MeasureCD(aerial, dose, s.Resist.Threshold, s.Cfg.PixelNM, cut)
+			out = append(out, PWPoint{DefocusNM: df, Dose: dose, CDNM: cd})
+		}
+	}
+	return out, nil
+}
+
+// DepthOfFocus returns the largest contiguous defocus range (containing
+// the smallest |defocus| sample) over which the CD at unit dose stays
+// within tol (fractional, e.g. 0.1 for ±10%) of targetCD. The range is
+// reported as (min, max) defocus in nm; ok is false when even the most
+// in-focus sample is out of spec.
+func DepthOfFocus(points []PWPoint, targetCD, tol float64) (lo, hi float64, ok bool) {
+	inSpec := func(p PWPoint) bool {
+		return math.Abs(p.CDNM-targetCD) <= tol*targetCD
+	}
+	// Collect unit-dose samples ordered by defocus.
+	var focus []PWPoint
+	for _, p := range points {
+		if p.Dose == 1 {
+			focus = append(focus, p)
+		}
+	}
+	if len(focus) == 0 {
+		return 0, 0, false
+	}
+	for i := 1; i < len(focus); i++ { // insertion sort by defocus
+		for j := i; j > 0 && focus[j].DefocusNM < focus[j-1].DefocusNM; j-- {
+			focus[j], focus[j-1] = focus[j-1], focus[j]
+		}
+	}
+	// Anchor at the most in-focus sample.
+	anchor := 0
+	for i, p := range focus {
+		if math.Abs(p.DefocusNM) < math.Abs(focus[anchor].DefocusNM) {
+			anchor = i
+		}
+	}
+	if !inSpec(focus[anchor]) {
+		return 0, 0, false
+	}
+	loIdx, hiIdx := anchor, anchor
+	for loIdx > 0 && inSpec(focus[loIdx-1]) {
+		loIdx--
+	}
+	for hiIdx < len(focus)-1 && inSpec(focus[hiIdx+1]) {
+		hiIdx++
+	}
+	return focus[loIdx].DefocusNM, focus[hiIdx].DefocusNM, true
+}

@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mosaic/internal/grid"
+	"mosaic/internal/optics"
+	"mosaic/internal/resist"
+	"mosaic/internal/sim"
+)
+
+func pwSim(t *testing.T) *sim.Simulator {
+	t.Helper()
+	c := optics.Default()
+	c.GridSize = 64
+	c.PixelNM = 8
+	c.Kernels = 6
+	s, err := sim.New(c, resist.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := s.CalibrateThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Resist.Threshold = thr
+	return s
+}
+
+func pwLineMask(n, x0, w int) *grid.Field {
+	m := grid.New(n, n)
+	for y := 0; y < n; y++ {
+		for x := x0; x < x0+w; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	return m
+}
+
+func TestMeasureCDSynthetic(t *testing.T) {
+	// Triangle-profile aerial image: CD at threshold thr is analytic.
+	n := 64
+	px := 2.0
+	aerial := grid.New(n, n)
+	center := 64.0 // nm
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			cx := (float64(x) + 0.5) * px
+			v := 1 - math.Abs(cx-center)/50 // 1 at center, 0 at +/-50 nm
+			if v < 0 {
+				v = 0
+			}
+			aerial.Set(x, y, v)
+		}
+	}
+	cut := Cutline{X: center, Y: 64, Horizontal: true}
+	// At threshold 0.5 the crossings sit +/-25 nm from center: CD = 50.
+	cd := MeasureCD(aerial, 1, 0.5, px, cut)
+	if math.Abs(cd-50) > 2 {
+		t.Fatalf("CD %g, want ~50", cd)
+	}
+	// Higher dose widens the printed line.
+	cdHot := MeasureCD(aerial, 1.3, 0.5, px, cut)
+	if cdHot <= cd {
+		t.Fatalf("overdose CD %g not wider than %g", cdHot, cd)
+	}
+	// Dark point: CD 0.
+	if got := MeasureCD(aerial, 1, 0.5, px, Cutline{X: 5, Y: 64, Horizontal: true}); got != 0 {
+		t.Fatalf("dark cutline CD %g", got)
+	}
+}
+
+func TestMeasureCDVertical(t *testing.T) {
+	n := 32
+	px := 4.0
+	aerial := grid.New(n, n)
+	for y := 10; y < 20; y++ {
+		for x := 0; x < n; x++ {
+			aerial.Set(x, y, 1)
+		}
+	}
+	cut := Cutline{X: 64, Y: 60, Horizontal: false}
+	cd := MeasureCD(aerial, 1, 0.5, px, cut)
+	// 10 rows of 4 nm: ~40 nm (edge interpolation gives +/- a pixel).
+	if math.Abs(cd-40) > 5 {
+		t.Fatalf("vertical CD %g, want ~40", cd)
+	}
+}
+
+func TestProcessWindowShape(t *testing.T) {
+	s := pwSim(t)
+	mask := pwLineMask(64, 24, 16) // 128 nm line at 8 nm/px
+	cut := Cutline{X: (24 + 8) * 8, Y: 256, Horizontal: true}
+	points, err := ProcessWindow(s, mask,
+		cut, []float64{0, 40, 80}, []float64{0.95, 1, 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("%d points, want 9", len(points))
+	}
+	byKey := map[[2]float64]float64{}
+	for _, p := range points {
+		byKey[[2]float64{p.DefocusNM, p.Dose}] = p.CDNM
+	}
+	// In-focus, unit dose: CD near 128 nm (calibrated).
+	if cd := byKey[[2]float64{0, 1}]; math.Abs(cd-128) > 16 {
+		t.Fatalf("nominal CD %g, want ~128", cd)
+	}
+	// Dose monotonicity at fixed focus.
+	if !(byKey[[2]float64{0, 0.95}] < byKey[[2]float64{0, 1.05}]) {
+		t.Fatal("CD not monotone in dose")
+	}
+}
+
+func TestProcessWindowEmptySweep(t *testing.T) {
+	s := pwSim(t)
+	if _, err := ProcessWindow(s, pwLineMask(64, 24, 16), Cutline{}, nil, []float64{1}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestDepthOfFocus(t *testing.T) {
+	points := []PWPoint{
+		{DefocusNM: -80, Dose: 1, CDNM: 80},
+		{DefocusNM: -40, Dose: 1, CDNM: 95},
+		{DefocusNM: 0, Dose: 1, CDNM: 100},
+		{DefocusNM: 40, Dose: 1, CDNM: 94},
+		{DefocusNM: 80, Dose: 1, CDNM: 70},
+		{DefocusNM: 0, Dose: 1.05, CDNM: 200}, // non-unit dose ignored
+	}
+	lo, hi, ok := DepthOfFocus(points, 100, 0.10)
+	if !ok {
+		t.Fatal("DoF not found")
+	}
+	if lo != -40 || hi != 40 {
+		t.Fatalf("DoF [%g, %g], want [-40, 40]", lo, hi)
+	}
+	// Out of spec at best focus.
+	_, _, ok = DepthOfFocus(points, 200, 0.05)
+	if ok {
+		t.Fatal("impossible spec satisfied")
+	}
+	// No unit-dose points at all.
+	_, _, ok = DepthOfFocus([]PWPoint{{Dose: 1.1, CDNM: 100}}, 100, 0.1)
+	if ok {
+		t.Fatal("DoF from non-unit-dose data")
+	}
+}
+
+func TestMaskComplexity(t *testing.T) {
+	mask := grid.New(16, 16)
+	for y := 4; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			mask.Set(x, y, 1)
+		}
+	}
+	c := MaskComplexity(mask)
+	if c.AreaPixels != 16 {
+		t.Fatalf("area %d", c.AreaPixels)
+	}
+	if c.EdgePixels != 16 { // 4x4 block: 4 transitions per side
+		t.Fatalf("edges %d", c.EdgePixels)
+	}
+	if c.Fragments != 1 {
+		t.Fatalf("fragments %d", c.Fragments)
+	}
+	// A second blob increases fragments and shots.
+	mask.Set(12, 12, 1)
+	c2 := MaskComplexity(mask)
+	if c2.Fragments != 2 || c2.ShotEstimate <= c.ShotEstimate {
+		t.Fatalf("fragments %d shots %d vs %d", c2.Fragments, c2.ShotEstimate, c.ShotEstimate)
+	}
+}
+
+func TestMRC(t *testing.T) {
+	mask := grid.New(32, 32)
+	// 2-px-wide vertical line: 8 nm wide at 4 nm/px.
+	for y := 4; y < 28; y++ {
+		mask.Set(10, y, 1)
+		mask.Set(11, y, 1)
+	}
+	// A wide block 3 px away (12 nm space).
+	for y := 4; y < 28; y++ {
+		for x := 15; x < 25; x++ {
+			mask.Set(x, y, 1)
+		}
+	}
+	// minWidth 16 nm flags the thin line; minSpace 16 nm flags the gap.
+	vs := MRC(mask, 4, 16, 16)
+	var width, space int
+	for _, v := range vs {
+		switch v.Kind {
+		case "width":
+			width++
+		case "space":
+			space++
+		}
+	}
+	if width == 0 {
+		t.Fatal("thin line not flagged")
+	}
+	if space == 0 {
+		t.Fatal("tight space not flagged")
+	}
+	// Relaxed rules: clean.
+	if got := MRC(mask, 4, 8, 8); len(got) != 0 {
+		t.Fatalf("relaxed rules still flag %d violations", len(got))
+	}
+}
+
+func TestMRCBorderGapsIgnored(t *testing.T) {
+	mask := grid.New(16, 16)
+	// Single feature near the border: the border gaps must not count as
+	// spaces.
+	for y := 6; y < 10; y++ {
+		for x := 6; x < 10; x++ {
+			mask.Set(x, y, 1)
+		}
+	}
+	for _, v := range MRC(mask, 4, 8, 1000) {
+		if v.Kind == "space" {
+			t.Fatalf("border gap flagged as space: %+v", v)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package par provides the minimal data-parallel loop used by the
+// simulator and optimizer: run n independent tasks across up to
+// GOMAXPROCS workers. On a single-core machine it degrades to a plain
+// loop with no goroutine overhead.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) using up to GOMAXPROCS concurrent
+// workers. It returns when all calls have completed. fn must be safe to
+// call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	ForN(runtime.GOMAXPROCS(0), n, fn)
+}
+
+// ForN is For with an explicit worker bound (useful in tests to force
+// concurrency regardless of GOMAXPROCS).
+func ForN(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

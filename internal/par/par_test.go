@@ -1,0 +1,46 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		seen := make([]atomic.Int32, n)
+		For(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForNForcedConcurrency(t *testing.T) {
+	const n = 200
+	var sum atomic.Int64
+	ForN(8, n, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != n*(n-1)/2 {
+		t.Fatalf("sum %d, want %d", got, n*(n-1)/2)
+	}
+}
+
+func TestForNSequentialFallback(t *testing.T) {
+	// workers <= 1 must execute in order on the calling goroutine.
+	order := make([]int, 0, 5)
+	ForN(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order: %v", order)
+		}
+	}
+}
+
+func TestForNNegative(t *testing.T) {
+	called := false
+	ForN(4, -3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for negative n")
+	}
+}

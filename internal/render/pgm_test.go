@@ -1,0 +1,55 @@
+package render
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mosaic/internal/grid"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	f := grid.FromRows([][]float64{{0, 0.5}, {1, 0.25}})
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(f, 1.0/254) {
+		t.Fatalf("round trip: %v vs %v", g.Data, f.Data)
+	}
+}
+
+func TestPGMFileRoundTripBinary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.pgm")
+	mask := grid.FromRows([][]float64{{0, 1}, {1, 0}})
+	if err := SavePGM(path, mask); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMask(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(mask, 0) {
+		t.Fatal("binary mask round trip failed")
+	}
+}
+
+func TestReadPGMErrors(t *testing.T) {
+	bad := []string{
+		"P2\n2 2\n255\n0 0 0 0", // ASCII variant unsupported
+		"P5\n0 2\n255\n",        // zero width
+		"P5\n2 2\n255\nab",      // truncated data
+		"garbage",
+	}
+	for i, s := range bad {
+		if _, err := ReadPGM(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

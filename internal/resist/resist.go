@@ -1,0 +1,67 @@
+// Package resist models the photoresist development step of the forward
+// lithography process: the hard threshold of Eq. 3 and its differentiable
+// sigmoid approximation of Eq. 4 (used wherever the inverse problem needs a
+// gradient). Dose variation enters as a multiplicative scale on the aerial
+// image intensity before thresholding.
+package resist
+
+import (
+	"math"
+
+	"mosaic/internal/grid"
+)
+
+// Model holds the resist parameters. The paper uses ThetaZ = 50 with a
+// print threshold around the open-frame-normalized intensity level; the
+// exact threshold is calibrated against the optical model (see
+// sim.CalibrateThreshold).
+type Model struct {
+	Threshold float64 // print threshold th_r on normalized intensity
+	ThetaZ    float64 // sigmoid steepness theta_Z (Eq. 4), paper: 50
+}
+
+// Default returns the paper's resist parameters with a conventional
+// positive-resist threshold on open-frame-normalized intensity.
+func Default() Model { return Model{Threshold: 0.225, ThetaZ: 50} }
+
+// Sigmoid evaluates Eq. 4 at a single intensity value:
+// Z = 1 / (1 + exp(-theta_Z * (I - th_r))).
+func (m Model) Sigmoid(i float64) float64 {
+	return 1 / (1 + math.Exp(-m.ThetaZ*(i-m.Threshold)))
+}
+
+// SigmoidDeriv returns dZ/dI at intensity i: theta_Z * Z * (1 - Z).
+func (m Model) SigmoidDeriv(i float64) float64 {
+	z := m.Sigmoid(i)
+	return m.ThetaZ * z * (1 - z)
+}
+
+// Print applies the hard threshold of Eq. 3 to an aerial image scaled by
+// dose, producing a binary printed pattern.
+func (m Model) Print(i *grid.Field, dose float64) *grid.Field {
+	z := grid.NewLike(i)
+	thr := m.Threshold
+	for idx, v := range i.Data {
+		if v*dose > thr {
+			z.Data[idx] = 1
+		}
+	}
+	return z
+}
+
+// PrintSigmoid applies the sigmoid resist of Eq. 4 to an aerial image
+// scaled by dose, producing a continuous printed pattern in (0, 1).
+func (m Model) PrintSigmoid(i *grid.Field, dose float64) *grid.Field {
+	z := grid.NewLike(i)
+	for idx, v := range i.Data {
+		z.Data[idx] = m.Sigmoid(v * dose)
+	}
+	return z
+}
+
+// Sig is the generic logistic function 1/(1+exp(-theta*(x-x0))) used for
+// every threshold relaxation in the paper: the resist model (Eq. 4), the
+// mask relaxation (Eq. 8) and the EPE-violation indicator (Eq. 11).
+func Sig(x, x0, theta float64) float64 {
+	return 1 / (1 + math.Exp(-theta*(x-x0)))
+}

@@ -1,0 +1,104 @@
+package resist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/grid"
+)
+
+func TestSigmoidAtThreshold(t *testing.T) {
+	m := Default()
+	if got := m.Sigmoid(m.Threshold); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(th_r) = %g, want 0.5", got)
+	}
+}
+
+func TestSigmoidLimits(t *testing.T) {
+	m := Default()
+	if m.Sigmoid(m.Threshold+1) < 0.999 {
+		t.Fatal("sigmoid does not saturate high")
+	}
+	if m.Sigmoid(m.Threshold-1) > 0.001 {
+		t.Fatal("sigmoid does not saturate low")
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	m := Default()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return m.Sigmoid(lo) <= m.Sigmoid(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidDerivMatchesFiniteDifference(t *testing.T) {
+	m := Default()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		x := m.Threshold + rng.NormFloat64()*0.05
+		const eps = 1e-6
+		num := (m.Sigmoid(x+eps) - m.Sigmoid(x-eps)) / (2 * eps)
+		ana := m.SigmoidDeriv(x)
+		if math.Abs(num-ana) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("x=%g: deriv %g vs numeric %g", x, ana, num)
+		}
+	}
+}
+
+func TestPrintDose(t *testing.T) {
+	m := Model{Threshold: 0.3, ThetaZ: 50}
+	img := grid.FromRows([][]float64{{0.2, 0.31}})
+	z := m.Print(img, 1)
+	if z.At(0, 0) != 0 || z.At(1, 0) != 1 {
+		t.Fatalf("Print: %v", z.Data)
+	}
+	// Dose 2 pushes 0.2 over the 0.3 threshold.
+	z2 := m.Print(img, 2)
+	if z2.At(0, 0) != 1 {
+		t.Fatal("dose scaling not applied")
+	}
+}
+
+func TestPrintSigmoidRange(t *testing.T) {
+	m := Default()
+	img := grid.FromRows([][]float64{{-1, 0, 0.225, 1, 10}})
+	z := m.PrintSigmoid(img, 1)
+	for i, v := range z.Data {
+		// Far from threshold the sigmoid saturates to exactly 0/1 in
+		// float64; the range is the closed interval.
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %d: sigmoid output %g outside [0,1]", i, v)
+		}
+	}
+	if at := z.Data[2]; at <= 0.4 || at >= 0.6 {
+		t.Fatalf("threshold pixel %g, want ~0.5", at)
+	}
+	// Monotone along the row.
+	for i := 1; i < len(z.Data); i++ {
+		if z.Data[i] < z.Data[i-1] {
+			t.Fatal("PrintSigmoid not monotone in intensity")
+		}
+	}
+}
+
+func TestSigGeneric(t *testing.T) {
+	if got := Sig(5, 5, 10); got != 0.5 {
+		t.Fatalf("Sig at center: %g", got)
+	}
+	if Sig(6, 5, 10) <= Sig(5.5, 5, 10) {
+		t.Fatal("Sig not increasing")
+	}
+	// Steeper theta approaches the step function faster.
+	if Sig(5.1, 5, 100) <= Sig(5.1, 5, 10) {
+		t.Fatal("steepness has no effect")
+	}
+}

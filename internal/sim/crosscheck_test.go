@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+
+	"mosaic/internal/fft"
+	"mosaic/internal/grid"
+)
+
+// TestFieldMatchesDirectConvolution validates the band-limited FFT imaging
+// path against a brute-force circular convolution in the spatial domain:
+// both must produce the same optical field for the same kernel.
+func TestFieldMatchesDirectConvolution(t *testing.T) {
+	s := testSim(t)
+	ks, err := s.Kernels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Cfg.GridSize
+	mask := lineMask(n, 12)
+	// Asymmetric touch so the test catches transposed indexing.
+	mask.Set(5, 7, 1)
+
+	kf := ks.Freqs[0]
+	// FFT path.
+	spec := s.Spectrum(mask)
+	got := s.FieldFromSpectrum(spec, kf, ks.K)
+
+	// Direct path: spatial kernel = IFFT of the embedded frequency block,
+	// then O(n^4)-ish circular convolution (restricted to mask support).
+	kspec := fft.EmbedCenter(kf, n, n)
+	fft.Inverse2D(kspec) // spatial kernel h(x, y)
+	want := grid.NewC(n, n)
+	for my := 0; my < n; my++ {
+		for mx := 0; mx < n; mx++ {
+			if mask.At(mx, my) == 0 {
+				continue
+			}
+			for y := 0; y < n; y++ {
+				dy := ((y - my) + n) % n
+				for x := 0; x < n; x++ {
+					dx := ((x - mx) + n) % n
+					want.Data[y*n+x] += kspec.Data[dy*n+dx]
+				}
+			}
+		}
+	}
+	// The FFT path convolves in frequency domain without the n^2 scale
+	// mismatch: both come from the same normalization, compare directly.
+	maxDiff := 0.0
+	for i := range got.Data {
+		d := cmplx.Abs(got.Data[i] - want.Data[i])
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-9 {
+		t.Fatalf("FFT and direct convolution disagree by %g", maxDiff)
+	}
+}
+
+// TestAerialEnergyConservation: the open-frame normalization bounds the
+// image of any binary mask.
+func TestAerialEnergyConservation(t *testing.T) {
+	s := testSim(t)
+	img, err := s.Aerial(lineMask(64, 24), Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := img.MinMax()
+	if lo < -1e-9 {
+		t.Fatalf("negative intensity %g", lo)
+	}
+	if hi > 1.5 {
+		t.Fatalf("intensity %g far above the open-frame level", hi)
+	}
+}
+
+// TestConcurrentSimulation exercises the documented concurrency safety of
+// the simulator (kernel cache + FFT plan cache) under -race.
+func TestConcurrentSimulation(t *testing.T) {
+	s := testSim(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mask := lineMask(64, 8+i)
+			_, err := s.Aerial(mask, Corner{Name: "c", DefocusNM: float64(i % 3 * 10), Dose: 1})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}
+
+// TestLinearityOfField: the optical field (before |.|^2) is linear in the
+// mask.
+func TestLinearityOfField(t *testing.T) {
+	s := testSim(t)
+	ks, err := s.Kernels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lineMask(64, 8)
+	b := grid.New(64, 64)
+	b.Set(40, 40, 1)
+	sum := a.Clone().Add(b)
+
+	fa := s.FieldFromSpectrum(s.Spectrum(a), ks.Freqs[0], ks.K)
+	fb := s.FieldFromSpectrum(s.Spectrum(b), ks.Freqs[0], ks.K)
+	fsum := s.FieldFromSpectrum(s.Spectrum(sum), ks.Freqs[0], ks.K)
+	for i := range fsum.Data {
+		if cmplx.Abs(fsum.Data[i]-(fa.Data[i]+fb.Data[i])) > 1e-9 {
+			t.Fatal("field not linear in the mask")
+		}
+	}
+}
+
+// TestDefocusSymmetric: equal positive and negative defocus give the same
+// intensity for a real mask (the paraxial defocus phase conjugates, and
+// intensity is phase-insensitive for symmetric sources).
+func TestDefocusSymmetric(t *testing.T) {
+	s := testSim(t)
+	mask := lineMask(64, 10)
+	plus, err := s.Aerial(mask, Corner{Name: "+", DefocusNM: 30, Dose: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minus, err := s.Aerial(mask, Corner{Name: "-", DefocusNM: -30, Dose: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDiff := 0.0
+	for i := range plus.Data {
+		d := math.Abs(plus.Data[i] - minus.Data[i])
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Fatalf("defocus sign asymmetry %g", maxDiff)
+	}
+}
+
+// TestFieldBandLimited: the optical field's spectrum must vanish outside
+// the kernel's central frequency block — the property the band-limited
+// imaging path exploits.
+func TestFieldBandLimited(t *testing.T) {
+	s := testSim(t)
+	ks, err := s.Kernels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := s.FieldFromSpectrum(s.Spectrum(lineMask(64, 10)), ks.Freqs[0], ks.K)
+	spec := field.Clone()
+	fft.Forward2D(spec)
+	n := s.Cfg.GridSize
+	for fy := 0; fy < n; fy++ {
+		for fx := 0; fx < n; fx++ {
+			// Centered frequency indices.
+			cx, cy := fx, fy
+			if cx > n/2 {
+				cx -= n
+			}
+			if cy > n/2 {
+				cy -= n
+			}
+			if cx >= -ks.K && cx <= ks.K && cy >= -ks.K && cy <= ks.K {
+				continue
+			}
+			if cmplx.Abs(spec.At(fx, fy)) > 1e-9 {
+				t.Fatalf("energy outside the band limit at (%d,%d): %g",
+					cx, cy, cmplx.Abs(spec.At(fx, fy)))
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package sim composes the optical projection model and the photoresist
+// model into the forward lithography simulator of Fig. 1: mask M -> aerial
+// image I -> printed pattern Z, evaluated at arbitrary process corners
+// (defocus and dose). It provides both the full SOCS imaging path of Eq. 2
+// and the combined single-kernel fast path of Eq. 21, plus threshold
+// calibration so printed features land on target for well-resolved shapes.
+package sim
+
+import (
+	"fmt"
+
+	"mosaic/internal/fft"
+	"mosaic/internal/grid"
+	"mosaic/internal/optics"
+	"mosaic/internal/par"
+	"mosaic/internal/resist"
+)
+
+// Corner is one lithography process condition. Dose scales the aerial
+// image intensity before resist thresholding; DefocusNM selects the
+// defocused optical kernel set.
+type Corner struct {
+	Name      string
+	DefocusNM float64
+	Dose      float64
+}
+
+// Nominal returns the nominal process condition (best focus, unit dose).
+func Nominal() Corner { return Corner{Name: "nominal", DefocusNM: 0, Dose: 1} }
+
+// ProcessCorners returns the corner set used throughout the paper's
+// experiments: nominal plus the two extreme corners of a +/-defocusNM,
+// +/-doseDelta process window (defocused under- and over-dose). The paper
+// uses defocusNM = 25 and doseDelta = 0.02.
+func ProcessCorners(defocusNM, doseDelta float64) []Corner {
+	return []Corner{
+		Nominal(),
+		{Name: "inner", DefocusNM: defocusNM, Dose: 1 - doseDelta},
+		{Name: "outer", DefocusNM: defocusNM, Dose: 1 + doseDelta},
+	}
+}
+
+// Simulator evaluates the forward lithography process for one optical
+// configuration and resist model. It caches kernel sets per defocus via the
+// optics package and is safe for concurrent use.
+type Simulator struct {
+	Cfg    optics.Config
+	Resist resist.Model
+}
+
+// New validates cfg and returns a Simulator.
+func New(cfg optics.Config, rm resist.Model) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rm.ThetaZ <= 0 {
+		return nil, fmt.Errorf("sim: resist steepness must be positive, got %g", rm.ThetaZ)
+	}
+	return &Simulator{Cfg: cfg, Resist: rm}, nil
+}
+
+// Kernels returns the (cached) SOCS kernel set for the given defocus.
+func (s *Simulator) Kernels(defocusNM float64) (*optics.KernelSet, error) {
+	return optics.Kernels(s.Cfg, defocusNM)
+}
+
+// Spectrum returns the full 2-D FFT of the mask.
+func (s *Simulator) Spectrum(mask *grid.Field) *grid.CField {
+	if mask.W != s.Cfg.GridSize || mask.H != s.Cfg.GridSize {
+		panic(fmt.Sprintf("sim: mask %dx%d does not match grid size %d", mask.W, mask.H, s.Cfg.GridSize))
+	}
+	spec := grid.ToComplex(mask)
+	fft.Forward2D(spec)
+	return spec
+}
+
+// FieldFromSpectrum convolves the mask (given by its full spectrum) with
+// one kernel (given by its frequency response on the central block of
+// half-width K) and returns the complex optical field on the full grid.
+func (s *Simulator) FieldFromSpectrum(spec *grid.CField, kf *grid.CField, k int) *grid.CField {
+	n := s.Cfg.GridSize
+	out := grid.NewC(n, n)
+	for dy := -k; dy <= k; dy++ {
+		sy := (dy + n) % n
+		for dx := -k; dx <= k; dx++ {
+			sx := (dx + n) % n
+			out.Set(sx, sy, spec.At(sx, sy)*kf.At(dx+k, dy+k))
+		}
+	}
+	fft.Inverse2D(out)
+	return out
+}
+
+// Aerial computes the aerial image with the full SOCS stack (Eq. 2):
+// I = sum_k w_k |M conv h_k|^2 at the corner's defocus. Dose is NOT applied
+// here; it scales intensity at the resist step. Kernel convolutions run in
+// parallel across available cores.
+func (s *Simulator) Aerial(mask *grid.Field, c Corner) (*grid.Field, error) {
+	ks, err := s.Kernels(c.DefocusNM)
+	if err != nil {
+		return nil, err
+	}
+	spec := s.Spectrum(mask)
+	partial := make([]*grid.Field, len(ks.Freqs))
+	par.For(len(ks.Freqs), func(i int) {
+		field := s.FieldFromSpectrum(spec, ks.Freqs[i], ks.K)
+		img := grid.New(mask.W, mask.H)
+		field.AccumAbs2(img, ks.Weights[i])
+		partial[i] = img
+	})
+	img := grid.New(mask.W, mask.H)
+	for _, p := range partial {
+		img.Add(p)
+	}
+	return img, nil
+}
+
+// AerialCombined computes the aerial image with the combined single kernel
+// of Eq. 21: I ~= |M conv H|^2 where H = sum_k w_k h_k. This is the fast
+// path used inside gradient descent.
+func (s *Simulator) AerialCombined(mask *grid.Field, c Corner) (*grid.Field, error) {
+	ks, err := s.Kernels(c.DefocusNM)
+	if err != nil {
+		return nil, err
+	}
+	spec := s.Spectrum(mask)
+	field := s.FieldFromSpectrum(spec, ks.Combined(), ks.K)
+	return field.Abs2(), nil
+}
+
+// PrintHard applies the hard-threshold resist (Eq. 3) at the corner's dose.
+func (s *Simulator) PrintHard(aerial *grid.Field, c Corner) *grid.Field {
+	return s.Resist.Print(aerial, c.Dose)
+}
+
+// PrintSoft applies the sigmoid resist (Eq. 4) at the corner's dose.
+func (s *Simulator) PrintSoft(aerial *grid.Field, c Corner) *grid.Field {
+	return s.Resist.PrintSigmoid(aerial, c.Dose)
+}
+
+// Simulate runs the full forward process at a corner and returns both the
+// aerial image and the binary printed pattern.
+func (s *Simulator) Simulate(mask *grid.Field, c Corner) (aerial, printed *grid.Field, err error) {
+	aerial, err = s.Aerial(mask, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aerial, s.PrintHard(aerial, c), nil
+}
+
+// CalibrateThreshold simulates a wide, well-resolved clear line at best
+// focus and returns the aerial intensity at the line's target edge. Setting
+// the resist threshold to this value makes large features print on target,
+// which is the conventional constant-threshold-resist calibration. The
+// returned Simulator convenience wrapper is not modified; assign the result
+// to s.Resist.Threshold to adopt it.
+func (s *Simulator) CalibrateThreshold() (float64, error) {
+	n := s.Cfg.GridSize
+	// A vertical clear line of width ~1/4 field, centered; wide enough to be
+	// fully resolved at 193 nm / NA 1.35 for any sane grid.
+	widthPx := n / 4
+	x0 := (n - widthPx) / 2
+	mask := grid.New(n, n)
+	for y := 0; y < n; y++ {
+		row := mask.Row(y)
+		for x := x0; x < x0+widthPx; x++ {
+			row[x] = 1
+		}
+	}
+	img, err := s.Aerial(mask, Nominal())
+	if err != nil {
+		return 0, err
+	}
+	// Intensity at the left target edge, mid-height. The physical edge lies
+	// at the boundary between pixels x0-1 and x0, i.e. at x0 - 0.5 in pixel
+	// centers; average the two adjacent samples.
+	y := n / 2
+	v := 0.5 * (img.At(x0-1, y) + img.At(x0, y))
+	if v <= 0 || v >= 1 {
+		return 0, fmt.Errorf("sim: calibration produced implausible threshold %g", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,251 @@
+// Package vectorize converts pixelated masks back into rectilinear
+// geometry. ILT produces free-form pixel masks, but mask shops consume
+// polygons (and e-beam writers consume rectangles), so a practical ILT
+// flow ends with exactly this step: trace the boundary of every connected
+// pixel region into a closed rectilinear ring, and decompose regions into
+// axis-aligned rectangles for shot-count estimation.
+//
+// Boundary tracing is exact: rasterizing the traced polygons reproduces
+// the input mask pixel-for-pixel (each pixel is treated as a unit square).
+package vectorize
+
+import (
+	"sort"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+)
+
+// pt is a point on the pixel-corner lattice.
+type pt struct{ x, y int }
+
+// Trace extracts the boundary rings of all 4-connected pixel regions of a
+// binary mask as rectilinear polygons in nm coordinates (pixel (x, y)
+// covers [x*pixelNM, (x+1)*pixelNM) in each axis). Outer boundaries are
+// returned counter-clockwise; hole boundaries (if any) clockwise, so the
+// even-odd rasterization rule reproduces the region.
+func Trace(mask *grid.Field, pixelNM float64) []geom.Polygon {
+	// Collect all boundary edges between a set pixel and an unset (or
+	// outside) neighbor, as directed unit segments on the pixel-corner
+	// lattice. Direction convention keeps the filled region to the LEFT of
+	// travel, which makes outer rings CCW and hole rings CW in a y-up
+	// coordinate system.
+	type seg struct{ from, to pt }
+	on := func(x, y int) bool {
+		if x < 0 || x >= mask.W || y < 0 || y >= mask.H {
+			return false
+		}
+		return mask.At(x, y) > 0
+	}
+	// Map from segment start -> list of segments (corner lattice points).
+	next := map[pt][]pt{}
+	addSeg := func(s seg) { next[s.from] = append(next[s.from], s.to) }
+	for y := 0; y < mask.H; y++ {
+		for x := 0; x < mask.W; x++ {
+			if !on(x, y) {
+				continue
+			}
+			// For each exposed side, emit the directed edge that keeps the
+			// pixel on the left when walking it.
+			if !on(x, y-1) { // bottom side: left-to-right keeps pixel above...
+				// y-up convention: pixel spans [y, y+1); bottom edge at y.
+				// Walking +x along the bottom keeps the pixel (above the
+				// edge) on the left.
+				addSeg(seg{pt{x, y}, pt{x + 1, y}})
+			}
+			if !on(x, y+1) { // top edge at y+1: walk -x keeps pixel on left
+				addSeg(seg{pt{x + 1, y + 1}, pt{x, y + 1}})
+			}
+			if !on(x-1, y) { // left edge at x: walk -y keeps pixel on left
+				addSeg(seg{pt{x, y + 1}, pt{x, y}})
+			}
+			if !on(x+1, y) { // right edge at x+1: walk +y keeps pixel on left
+				addSeg(seg{pt{x + 1, y}, pt{x + 1, y + 1}})
+			}
+		}
+	}
+	// Make traversal deterministic: sort candidate continuations.
+	for k := range next {
+		cands := next[k]
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].x != cands[j].x {
+				return cands[i].x < cands[j].x
+			}
+			return cands[i].y < cands[j].y
+		})
+		next[k] = cands
+	}
+	// Stitch segments into closed rings. At lattice points where two rings
+	// touch diagonally, four segments meet; picking the continuation that
+	// turns most sharply left relative to the incoming direction keeps
+	// rings separate (the standard Moore-style disambiguation).
+	starts := make([]pt, 0, len(next))
+	for k := range next {
+		starts = append(starts, k)
+	}
+	sort.Slice(starts, func(i, j int) bool {
+		if starts[i].y != starts[j].y {
+			return starts[i].y < starts[j].y
+		}
+		return starts[i].x < starts[j].x
+	})
+
+	pop := func(from pt, prefer func(pt) int) (pt, bool) {
+		cands := next[from]
+		if len(cands) == 0 {
+			return pt{}, false
+		}
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if prefer(cands[i]) < prefer(cands[best]) {
+				best = i
+			}
+		}
+		to := cands[best]
+		next[from] = append(cands[:best], cands[best+1:]...)
+		if len(next[from]) == 0 {
+			delete(next, from)
+		}
+		return to, true
+	}
+
+	var rings []geom.Polygon
+	for _, start := range starts {
+		if _, ok := next[start]; !ok {
+			continue
+		}
+		var ring []pt
+		cur := start
+		var dir pt // incoming direction
+		for {
+			to, ok := pop(cur, func(cand pt) int {
+				// Prefer the sharpest left turn relative to dir; for the
+				// first step any candidate works (prefer smallest).
+				step := pt{cand.x - cur.x, cand.y - cur.y}
+				if dir == (pt{}) {
+					return 0
+				}
+				// cross > 0 = left turn (y-up), straight = 0, right < 0.
+				cross := dir.x*step.y - dir.y*step.x
+				switch {
+				case cross > 0:
+					return 0 // left
+				case cross == 0:
+					return 1 // straight
+				default:
+					return 2 // right
+				}
+			})
+			if !ok {
+				break
+			}
+			ring = append(ring, cur)
+			dir = pt{to.x - cur.x, to.y - cur.y}
+			cur = to
+			if cur == start {
+				break
+			}
+		}
+		if len(ring) < 4 {
+			continue
+		}
+		rings = append(rings, simplify(ring, pixelNM))
+	}
+	return rings
+}
+
+// simplify merges collinear lattice steps into single edges and scales to
+// nm.
+func simplify(ring []pt, pixelNM float64) geom.Polygon {
+	n := len(ring)
+	var out geom.Polygon
+	for i := 0; i < n; i++ {
+		prev := ring[(i-1+n)%n]
+		cur := ring[i]
+		nxt := ring[(i+1)%n]
+		d1x, d1y := cur.x-prev.x, cur.y-prev.y
+		d2x, d2y := nxt.x-cur.x, nxt.y-cur.y
+		if d1x == d2x && d1y == d2y {
+			continue // collinear: drop the middle point
+		}
+		out = append(out, geom.Point{X: float64(cur.x) * pixelNM, Y: float64(cur.y) * pixelNM})
+	}
+	return out
+}
+
+// Rectangles decomposes the set pixels of a binary mask into maximal
+// horizontal slabs: per row, runs of set pixels are merged vertically with
+// identical runs in following rows. The result is a compact exact cover of
+// the mask by axis-aligned rectangles — the unit a VSB mask writer shoots.
+func Rectangles(mask *grid.Field, pixelNM float64) []geom.Rect {
+	type run struct{ x0, x1 int } // [x0, x1)
+	rowRuns := func(y int) []run {
+		var rs []run
+		x := 0
+		for x < mask.W {
+			if mask.At(x, y) == 0 {
+				x++
+				continue
+			}
+			x0 := x
+			for x < mask.W && mask.At(x, y) > 0 {
+				x++
+			}
+			rs = append(rs, run{x0, x})
+		}
+		return rs
+	}
+	type open struct {
+		run
+		y0 int
+	}
+	var rects []geom.Rect
+	var active []open
+	closeRect := func(o open, yEnd int) {
+		rects = append(rects, geom.Rect{
+			X: float64(o.x0) * pixelNM,
+			Y: float64(o.y0) * pixelNM,
+			W: float64(o.x1-o.x0) * pixelNM,
+			H: float64(yEnd-o.y0) * pixelNM,
+		})
+	}
+	for y := 0; y <= mask.H; y++ {
+		var runs []run
+		if y < mask.H {
+			runs = rowRuns(y)
+		}
+		var still []open
+		matched := make([]bool, len(runs))
+		for _, o := range active {
+			found := false
+			for i, r := range runs {
+				if !matched[i] && r == o.run {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if found {
+				still = append(still, o)
+			} else {
+				closeRect(o, y)
+			}
+		}
+		for i, r := range runs {
+			if !matched[i] {
+				still = append(still, open{run: r, y0: y})
+			}
+		}
+		active = still
+	}
+	return rects
+}
+
+// ToLayout wraps traced mask geometry as a layout clip.
+func ToLayout(name string, mask *grid.Field, pixelNM float64) *geom.Layout {
+	return &geom.Layout{
+		Name:   name,
+		SizeNM: float64(mask.W) * pixelNM,
+		Polys:  Trace(mask, pixelNM),
+	}
+}

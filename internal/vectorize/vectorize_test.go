@@ -1,0 +1,216 @@
+package vectorize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+)
+
+func blockMask(n int, blocks ...[4]int) *grid.Field {
+	m := grid.New(n, n)
+	for _, b := range blocks {
+		for y := b[1]; y < b[1]+b[3]; y++ {
+			for x := b[0]; x < b[0]+b[2]; x++ {
+				m.Set(x, y, 1)
+			}
+		}
+	}
+	return m
+}
+
+func TestTraceSingleRect(t *testing.T) {
+	m := blockMask(16, [4]int{4, 6, 5, 3})
+	polys := Trace(m, 2)
+	if len(polys) != 1 {
+		t.Fatalf("%d polygons, want 1", len(polys))
+	}
+	p := polys[0]
+	if len(p) != 4 {
+		t.Fatalf("rectangle traced with %d vertices", len(p))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bb := p.BBox()
+	if bb.X != 8 || bb.Y != 12 || bb.W != 10 || bb.H != 6 {
+		t.Fatalf("bbox %+v", bb)
+	}
+	if p.Area() != 60 {
+		t.Fatalf("area %g", p.Area())
+	}
+}
+
+func TestTraceLShape(t *testing.T) {
+	m := blockMask(16, [4]int{2, 2, 8, 3}, [4]int{2, 5, 3, 5})
+	polys := Trace(m, 1)
+	if len(polys) != 1 {
+		t.Fatalf("%d polygons, want 1", len(polys))
+	}
+	if len(polys[0]) != 6 {
+		t.Fatalf("L traced with %d vertices, want 6", len(polys[0]))
+	}
+	if polys[0].Area() != 8*3+3*5 {
+		t.Fatalf("area %g", polys[0].Area())
+	}
+}
+
+func TestTraceMultipleRegions(t *testing.T) {
+	m := blockMask(16, [4]int{1, 1, 3, 3}, [4]int{8, 8, 4, 2})
+	polys := Trace(m, 1)
+	if len(polys) != 2 {
+		t.Fatalf("%d polygons, want 2", len(polys))
+	}
+}
+
+func TestTraceHole(t *testing.T) {
+	m := blockMask(16, [4]int{2, 2, 10, 10})
+	// Punch a hole.
+	for y := 5; y < 9; y++ {
+		for x := 5; x < 9; x++ {
+			m.Set(x, y, 0)
+		}
+	}
+	polys := Trace(m, 1)
+	if len(polys) != 2 {
+		t.Fatalf("%d rings, want outer + hole", len(polys))
+	}
+	// Even-odd rasterization of the rings reproduces the mask.
+	l := &geom.Layout{Name: "h", SizeNM: 16, Polys: polys}
+	back := l.Rasterize(16, 1)
+	if !back.Equal(m, 0) {
+		t.Fatal("hole round trip failed")
+	}
+}
+
+// Property: trace -> rasterize reproduces the mask exactly for random
+// block soups (including touching and overlapping blocks).
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24
+		m := grid.New(n, n)
+		for b := 0; b < 5; b++ {
+			w := 1 + rng.Intn(8)
+			h := 1 + rng.Intn(8)
+			x0 := 1 + rng.Intn(n-w-2)
+			y0 := 1 + rng.Intn(n-h-2)
+			for y := y0; y < y0+h; y++ {
+				for x := x0; x < x0+w; x++ {
+					m.Set(x, y, 1)
+				}
+			}
+		}
+		polys := Trace(m, 1)
+		l := &geom.Layout{Name: "p", SizeNM: float64(n), Polys: polys}
+		back := l.Rasterize(n, 1)
+		return back.Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDiagonalTouch(t *testing.T) {
+	// Two pixels touching only diagonally are separate 4-connected
+	// regions; the shared corner has 4 boundary segments and must resolve
+	// into two rings (not one figure-eight).
+	m := grid.New(8, 8)
+	m.Set(3, 3, 1)
+	m.Set(4, 4, 1)
+	polys := Trace(m, 1)
+	if len(polys) != 2 {
+		t.Fatalf("%d rings, want 2 for diagonal touch", len(polys))
+	}
+	// Round trip still exact.
+	l := &geom.Layout{Name: "d", SizeNM: 8, Polys: polys}
+	if !l.Rasterize(8, 1).Equal(m, 0) {
+		t.Fatal("diagonal-touch round trip failed")
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	if got := Trace(grid.New(8, 8), 1); len(got) != 0 {
+		t.Fatalf("empty mask traced %d polygons", len(got))
+	}
+}
+
+func TestRectanglesExactCover(t *testing.T) {
+	m := blockMask(16, [4]int{2, 2, 8, 3}, [4]int{2, 5, 3, 5})
+	rects := Rectangles(m, 1)
+	// Rebuild a mask from the rectangles and compare.
+	back := grid.New(16, 16)
+	total := 0.0
+	for _, r := range rects {
+		for y := int(r.Y); y < int(r.Y+r.H); y++ {
+			for x := int(r.X); x < int(r.X+r.W); x++ {
+				if back.At(x, y) != 0 {
+					t.Fatalf("rectangles overlap at (%d,%d)", x, y)
+				}
+				back.Set(x, y, 1)
+			}
+		}
+		total += r.W * r.H
+	}
+	if !back.Equal(m, 0) {
+		t.Fatal("rectangle cover does not reproduce the mask")
+	}
+	if total != m.Sum() {
+		t.Fatalf("total rect area %g vs mask %g", total, m.Sum())
+	}
+}
+
+func TestRectanglesMergesRows(t *testing.T) {
+	// A solid block is a single rectangle.
+	m := blockMask(16, [4]int{4, 4, 6, 5})
+	rects := Rectangles(m, 2)
+	if len(rects) != 1 {
+		t.Fatalf("%d rects for a solid block", len(rects))
+	}
+	r := rects[0]
+	if r.X != 8 || r.Y != 8 || r.W != 12 || r.H != 10 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestToLayoutValidates(t *testing.T) {
+	m := blockMask(16, [4]int{4, 4, 6, 5})
+	l := ToLayout("traced", m, 2)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.SizeNM != 32 {
+		t.Fatalf("size %g", l.SizeNM)
+	}
+}
+
+func TestRectanglesEmptyAndSinglePixel(t *testing.T) {
+	if got := Rectangles(grid.New(8, 8), 1); len(got) != 0 {
+		t.Fatalf("empty mask produced %d rects", len(got))
+	}
+	m := grid.New(8, 8)
+	m.Set(3, 4, 1)
+	rects := Rectangles(m, 2)
+	if len(rects) != 1 {
+		t.Fatalf("%d rects for one pixel", len(rects))
+	}
+	r := rects[0]
+	if r.X != 6 || r.Y != 8 || r.W != 2 || r.H != 2 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestTraceFullGrid(t *testing.T) {
+	// A completely filled mask traces to one ring hugging the grid border.
+	m := grid.New(8, 8).Fill(1)
+	polys := Trace(m, 4)
+	if len(polys) != 1 {
+		t.Fatalf("%d rings", len(polys))
+	}
+	bb := polys[0].BBox()
+	if bb.X != 0 || bb.Y != 0 || bb.W != 32 || bb.H != 32 {
+		t.Fatalf("%+v", bb)
+	}
+}

@@ -1,0 +1,251 @@
+// Package mosaic is a Go implementation of MOSAIC (DAC 2014): inverse-
+// lithography mask optimization with simultaneous design-target and
+// process-window optimization.
+//
+// The package is a façade over the internal pipeline — optics (Hopkins TCC
+// / SOCS kernels), resist, forward simulation, geometry, metrics, and the
+// ILT optimizer — exposing the workflow a mask-synthesis user needs:
+//
+//	setup, err := mosaic.NewSetup(mosaic.DefaultOptics())
+//	layout, err := mosaic.Benchmark("B4")
+//	result, err := setup.OptimizeExact(layout)
+//	report, err := setup.Evaluate(result.Mask, layout, result.RuntimeSec)
+//	fmt.Printf("EPE=%d PVB=%.0f score=%.0f\n",
+//	        report.EPEViolations, report.PVBandNM2, report.Score)
+//
+// Types from the internal packages are re-exported as aliases so the whole
+// API is reachable from this single import.
+package mosaic
+
+import (
+	"fmt"
+	"os"
+
+	"mosaic/internal/bench"
+	"mosaic/internal/gds"
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/ilt"
+	"mosaic/internal/metrics"
+	"mosaic/internal/opc"
+	"mosaic/internal/optics"
+	"mosaic/internal/resist"
+	"mosaic/internal/sim"
+	"mosaic/internal/vectorize"
+)
+
+// Re-exported types: the full public surface of the library.
+type (
+	// OpticsConfig describes the imaging system and mask grid.
+	OpticsConfig = optics.Config
+	// ResistModel is the photoresist threshold/sigmoid model.
+	ResistModel = resist.Model
+	// KernelSet is a SOCS decomposition of the imaging system.
+	KernelSet = optics.KernelSet
+	// Field is a dense 2-D raster (mask, image, band...).
+	Field = grid.Field
+	// Layout is a rectilinear layout clip.
+	Layout = geom.Layout
+	// Polygon is a rectilinear ring in nm coordinates.
+	Polygon = geom.Polygon
+	// Point is a position in nm.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle in nm.
+	Rect = geom.Rect
+	// Corner is one lithography process condition.
+	Corner = sim.Corner
+	// Simulator is the forward lithography model.
+	Simulator = sim.Simulator
+	// Config holds every ILT optimizer parameter.
+	Config = ilt.Config
+	// Mode selects MOSAIC_fast or MOSAIC_exact.
+	Mode = ilt.Mode
+	// Result is an optimization outcome (mask + history).
+	Result = ilt.Result
+	// IterStats is one optimization iteration's record.
+	IterStats = ilt.IterStats
+	// Report is a full contest-metric evaluation of a mask.
+	Report = metrics.Report
+	// EvalParams are the evaluation constants (th_epe etc.).
+	EvalParams = metrics.Params
+	// Method is any mask synthesis approach (MOSAIC or a baseline).
+	Method = opc.Method
+	// RunResult is one (method, testcase) harness outcome.
+	RunResult = opc.RunResult
+	// Cutline locates a CD measurement for process-window analysis.
+	Cutline = metrics.Cutline
+	// PWPoint is one (defocus, dose, CD) sample of a Bossung matrix.
+	PWPoint = metrics.PWPoint
+	// Complexity summarizes mask manufacturability (edges, fragments).
+	Complexity = metrics.Complexity
+	// MRCViolation is one mask-rule-check finding.
+	MRCViolation = metrics.MRCViolation
+)
+
+// Optimization modes.
+const (
+	ModeFast  = ilt.ModeFast
+	ModeExact = ilt.ModeExact
+)
+
+// DefaultOptics returns the paper's imaging configuration (193 nm, NA
+// 1.35, annular 0.6/0.9, 24 SOCS kernels) on a 512-pixel grid covering the
+// 1024 nm contest clip at 2 nm/px.
+func DefaultOptics() OpticsConfig { return optics.Default() }
+
+// DefaultConfig returns the paper's optimizer parameters for a mode.
+func DefaultConfig(mode Mode) Config { return ilt.DefaultConfig(mode) }
+
+// DefaultEvalParams returns the paper's evaluation constants.
+func DefaultEvalParams() EvalParams { return metrics.DefaultParams() }
+
+// Setup bundles a calibrated forward simulator with evaluation parameters;
+// it is the entry point for optimization and evaluation.
+type Setup struct {
+	Sim    *Simulator
+	Params EvalParams
+}
+
+// NewSetup builds a simulator for cfg, calibrates the resist threshold so
+// well-resolved features print on target, and returns the ready-to-use
+// setup. Kernel construction runs on first use and is cached process-wide.
+func NewSetup(cfg OpticsConfig) (*Setup, error) {
+	s, err := sim.New(cfg, resist.Default())
+	if err != nil {
+		return nil, err
+	}
+	thr, err := s.CalibrateThreshold()
+	if err != nil {
+		return nil, fmt.Errorf("mosaic: calibrating resist threshold: %w", err)
+	}
+	s.Resist.Threshold = thr
+	return &Setup{Sim: s, Params: metrics.DefaultParams()}, nil
+}
+
+// Optimize runs the ILT optimizer with an explicit configuration.
+func (s *Setup) Optimize(cfg Config, layout *Layout) (*Result, error) {
+	o, err := ilt.New(s.Sim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return o.Run(layout)
+}
+
+// OptimizeFast runs MOSAIC_fast with the paper's parameters.
+func (s *Setup) OptimizeFast(layout *Layout) (*Result, error) {
+	return s.Optimize(ilt.DefaultConfig(ilt.ModeFast), layout)
+}
+
+// OptimizeExact runs MOSAIC_exact with the paper's parameters.
+func (s *Setup) OptimizeExact(layout *Layout) (*Result, error) {
+	return s.Optimize(ilt.DefaultConfig(ilt.ModeExact), layout)
+}
+
+// Evaluate computes the full contest metrics (EPE violations, PV band,
+// shape violations, Eq. 22 score) for a mask against a target layout.
+// runtimeSec is folded into the score; pass 0 to score quality only.
+func (s *Setup) Evaluate(mask *Field, layout *Layout, runtimeSec float64) (*Report, error) {
+	return metrics.Evaluate(s.Sim, mask, layout, s.Params, runtimeSec)
+}
+
+// Run executes any Method (MOSAIC or a baseline) on a layout and evaluates
+// the resulting mask, timing the synthesis.
+func (s *Setup) Run(m Method, layout *Layout) (*RunResult, error) {
+	return opc.RunAndEvaluate(s.Sim, m, layout, s.Params)
+}
+
+// Methods returns the paper's comparison set in Table 2/3 row order:
+// the three baselines standing in for the contest winners, then
+// MOSAIC_fast and MOSAIC_exact.
+func Methods() []Method {
+	return []Method{
+		opc.NewRuleBased(),
+		opc.NewModelBased(),
+		opc.NewPlainILT(),
+		opc.NewMOSAIC(ilt.ModeFast),
+		opc.NewMOSAIC(ilt.ModeExact),
+	}
+}
+
+// NewMOSAICMethod wraps an explicit optimizer configuration as a Method.
+func NewMOSAICMethod(cfg Config) Method { return &opc.MOSAIC{Cfg: cfg} }
+
+// ProcessWindow measures the critical dimension at a cutline through a
+// defocus x dose matrix (Bossung data) for a mask — the analysis behind
+// the process-window term the optimizer minimizes.
+func (s *Setup) ProcessWindow(mask *Field, cut Cutline, defocusNM, doses []float64) ([]PWPoint, error) {
+	return metrics.ProcessWindow(s.Sim, mask, cut, defocusNM, doses)
+}
+
+// DepthOfFocus extracts the usable defocus range from Bossung data: the
+// contiguous range around best focus where the unit-dose CD stays within
+// tol (fractional) of targetCD.
+func DepthOfFocus(points []PWPoint, targetCD, tol float64) (lo, hi float64, ok bool) {
+	return metrics.DepthOfFocus(points, targetCD, tol)
+}
+
+// MaskComplexity measures a binarized mask's manufacturing complexity.
+func MaskComplexity(mask *Field) Complexity { return metrics.MaskComplexity(mask) }
+
+// MRC checks a mask against minimum-width and minimum-space rules.
+func MRC(mask *Field, pixelNM, minWidthNM, minSpaceNM float64) []MRCViolation {
+	return metrics.MRC(mask, pixelNM, minWidthNM, minSpaceNM)
+}
+
+// TraceMask vectorizes a binary mask into rectilinear polygons (outer
+// rings counter-clockwise, holes clockwise): the geometry a mask shop
+// consumes. Rasterizing the result reproduces the mask exactly.
+func TraceMask(name string, mask *Field, pixelNM float64) *Layout {
+	return vectorize.ToLayout(name, mask, pixelNM)
+}
+
+// MaskRectangles decomposes a binary mask into an exact cover of
+// axis-aligned rectangles, the shot unit of a VSB mask writer.
+func MaskRectangles(mask *Field, pixelNM float64) []Rect {
+	return vectorize.Rectangles(mask, pixelNM)
+}
+
+// SaveGDS writes a layout (target or vectorized mask) as a GDSII stream
+// file with all polygons on the given layer.
+func SaveGDS(path string, l *Layout, layer int16) error { return gds.Save(path, l, layer) }
+
+// LoadGDS reads a flat GDSII file into a layout. sizeNM sets the clip
+// size; pass 0 to derive it from the geometry bounding box.
+func LoadGDS(path string, sizeNM float64) (*Layout, error) { return gds.Load(path, sizeNM) }
+
+// Benchmark returns one of the built-in B1..B10 benchmark clips.
+func Benchmark(name string) (*Layout, error) { return bench.Layout(name) }
+
+// Benchmarks returns the full built-in suite in order.
+func Benchmarks() ([]*Layout, error) { return bench.All() }
+
+// BenchmarkNames lists the built-in testcase names.
+func BenchmarkNames() []string { return bench.Names() }
+
+// LoadLayout reads a layout clip from a text layout file (see the geom
+// package for the format: CLIP/RECT/POLY statements).
+func LoadLayout(path string) (*Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := geom.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("mosaic: parsing %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// SaveLayout writes a layout clip to a text layout file.
+func SaveLayout(path string, l *Layout) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := geom.Write(f, l); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

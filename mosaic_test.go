@@ -1,0 +1,149 @@
+package mosaic
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// smallOptics keeps the root-package tests fast: a 512 nm clip at 8 nm/px.
+func smallOptics() OpticsConfig {
+	c := DefaultOptics()
+	c.GridSize = 64
+	c.PixelNM = 8
+	c.Kernels = 6
+	return c
+}
+
+// smallLayout is a two-bar clip matching smallOptics' 512 nm field.
+func smallLayout() *Layout {
+	return &Layout{
+		Name:   "api-test",
+		SizeNM: 512,
+		Polys: []Polygon{
+			Rect{X: 160, Y: 144, W: 96, H: 224}.Polygon(),
+			Rect{X: 312, Y: 144, W: 56, H: 224}.Polygon(),
+		},
+	}
+}
+
+func TestNewSetupCalibrates(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sim.Resist.Threshold <= 0.05 || s.Sim.Resist.Threshold >= 0.8 {
+		t.Fatalf("implausible calibrated threshold %g", s.Sim.Resist.Threshold)
+	}
+}
+
+func TestNewSetupRejectsBadConfig(t *testing.T) {
+	c := smallOptics()
+	c.GridSize = 77
+	if _, err := NewSetup(c); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+}
+
+func TestOptimizeAndEvaluate(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := smallLayout()
+	cfg := DefaultConfig(ModeFast)
+	cfg.MaxIter = 8
+	res, err := s.Optimize(cfg, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate(res.Mask, layout, res.RuntimeSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := layout.Rasterize(64, 8)
+	rep0, err := s.Evaluate(target, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Score >= rep0.Score {
+		t.Fatalf("OPC did not improve the score: %g -> %g", rep0.Score, rep.Score)
+	}
+}
+
+func TestBenchmarkAccess(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 10 {
+		t.Fatalf("%d benchmarks", len(names))
+	}
+	l, err := Benchmark("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "B4" || l.SizeNM != 1024 {
+		t.Fatalf("%+v", l)
+	}
+	all, err := Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("%d layouts", len(all))
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMethodsRoster(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 5 {
+		t.Fatalf("%d methods", len(ms))
+	}
+	want := []string{"RuleBased", "ModelBased", "PlainILT", "MOSAIC_fast", "MOSAIC_exact"}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Fatalf("method %d: %s, want %s", i, m.Name(), want[i])
+		}
+	}
+}
+
+func TestRunMethod(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := s.Run(Methods()[0], smallLayout()) // RuleBased: fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Report == nil || rr.Method != "RuleBased" {
+		t.Fatalf("%+v", rr)
+	}
+}
+
+func TestLayoutFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip.layout")
+	l := smallLayout()
+	if err := SaveLayout(path, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLayout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SizeNM != l.SizeNM || len(got.Polys) != len(l.Polys) {
+		t.Fatalf("%+v", got)
+	}
+	if _, err := LoadLayout(filepath.Join(dir, "missing.layout")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNewMOSAICMethod(t *testing.T) {
+	cfg := DefaultConfig(ModeExact)
+	m := NewMOSAICMethod(cfg)
+	if m.Name() != "MOSAIC_exact" {
+		t.Fatalf("name %s", m.Name())
+	}
+}
