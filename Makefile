@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check fmt vet test build bench
+
+# check is the tier-1 verification: formatting, static analysis, and the
+# full test suite under the race detector.
+check: fmt vet test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"mosaic"
+	"mosaic/internal/cli"
 	"mosaic/internal/render"
 )
 
@@ -24,7 +25,14 @@ func main() {
 	out := flag.String("out", "testcases", "output directory")
 	png := flag.Bool("png", false, "also write rasterized target PNGs")
 	gridSize := flag.Int("grid", 512, "raster grid size for -png")
+	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	obsCleanup, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsCleanup()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)

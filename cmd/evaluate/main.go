@@ -25,7 +25,14 @@ func main() {
 	layoutPath := flag.String("layout", "", "layout file (alternative to -testcase)")
 	maskPath := flag.String("mask", "", "mask PGM to evaluate (required)")
 	runtime := flag.Float64("runtime", 0, "optimization runtime in seconds to fold into the score")
+	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	obsCleanup, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsCleanup()
 
 	if *maskPath == "" {
 		log.Fatal("-mask is required")

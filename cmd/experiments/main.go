@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mosaic"
+	"mosaic/internal/cli"
 	"mosaic/internal/grid"
 	"mosaic/internal/metrics"
 	"mosaic/internal/render"
@@ -53,7 +54,14 @@ func main() {
 	gridSize := flag.Int("grid", 512, "simulation grid size (power of two)")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,table2,table3,fig5,fig6")
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md ablation studies (slow)")
+	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	obsCleanup, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsCleanup()
 
 	cfg := mosaic.DefaultOptics()
 	cfg.GridSize = *gridSize

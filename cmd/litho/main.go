@@ -35,7 +35,14 @@ func main() {
 	maskPath := flag.String("mask", "", "mask PGM; defaults to the rasterized target")
 	gridSize := flag.Int("grid", 512, "simulation grid size (power of two)")
 	out := flag.String("out", "litho-out", "output directory")
+	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	obsCleanup, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsCleanup()
 
 	layout, err := cli.LoadLayoutArg(*testcase, *layoutPath)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"mosaic"
 	"mosaic/internal/cli"
@@ -36,7 +37,14 @@ func main() {
 	maxIter := flag.Int("iter", 0, "override max iterations (0 = paper default)")
 	converge := flag.Bool("converge", false, "track full metrics per iteration (slow) and write converge.csv")
 	out := flag.String("out", "mosaic-out", "output directory")
+	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	obsCleanup, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsCleanup()
 
 	layout, err := cli.LoadLayoutArg(*testcase, *layoutPath)
 	if err != nil {
@@ -68,6 +76,19 @@ func main() {
 		optCfg.MaxIter = *maxIter
 	}
 	optCfg.TrackMetrics = *converge
+
+	// Stream convergence so long runs are not silent: one line per
+	// iteration at the default (info) log level.
+	runStart := time.Now()
+	optCfg.OnIter = func(st mosaic.IterStats) {
+		mosaic.Logger().Info("iter",
+			"iter", st.Iter,
+			"objective", fmt.Sprintf("%.4g", st.Objective),
+			"epe", st.ProxyEPE,
+			"pvband_nm2", fmt.Sprintf("%.0f", st.ProxyPVBandNM2),
+			"grad_rms", fmt.Sprintf("%.3g", st.GradRMS),
+			"elapsed", time.Since(runStart).Round(time.Millisecond))
+	}
 
 	res, err := setup.Optimize(optCfg, layout)
 	if err != nil {

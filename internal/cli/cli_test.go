@@ -1,12 +1,18 @@
 package cli
 
 import (
+	"flag"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mosaic/internal/bench"
 	"mosaic/internal/gds"
+	"mosaic/internal/obs"
 )
 
 func TestLoadLayoutArgBuiltin(t *testing.T) {
@@ -31,6 +37,72 @@ func TestLoadLayoutArgFile(t *testing.T) {
 	}
 	if l.Name != "file-test" {
 		t.Fatalf("got %s", l.Name)
+	}
+}
+
+func TestObsFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := AddObsFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.LogLevel != "info" || f.Verbose || f.Pprof != "" || f.Trace != "" {
+		t.Fatalf("unexpected defaults: %+v", f)
+	}
+	cleanup, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup()
+}
+
+func TestObsFlagsSetup(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := AddObsFlags(fs)
+	if err := fs.Parse([]string{"-v", "-pprof", "127.0.0.1:0", "-trace", trace}); err != nil {
+		t.Fatal(err)
+	}
+	cleanup, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if f.Addr == "" {
+		t.Fatal("Setup did not record the debug server address")
+	}
+	obs.Span("cli.test").End() // register at least one metric to scrape
+	resp, err := http.Get("http://" + f.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "# TYPE span_cli_test_seconds histogram") {
+		t.Fatalf("/metrics dump unexpected:\n%s", body)
+	}
+	cleanup()
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"cli.test"`) {
+		t.Fatalf("trace file missing span event:\n%s", data)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLogLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLogLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
 	}
 }
 

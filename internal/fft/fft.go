@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strconv"
 	"sync"
 
 	"mosaic/internal/grid"
+	"mosaic/internal/obs"
 )
 
 // NextPow2 returns the smallest power of two >= n (and at least 1).
@@ -126,7 +128,27 @@ func Inverse2D(c *grid.CField) {
 	}
 }
 
+// 2-D transform counters: a process-wide total plus one counter per grid
+// size, so a metrics scrape shows exactly how the FFT budget is spent.
+var (
+	tf2dTotal  = obs.NewCounter("fft_2d_transforms_total")
+	tf2dBySize sync.Map // int64 (W<<32|H) -> *obs.Counter
+)
+
+func count2D(w, h int) {
+	tf2dTotal.Inc()
+	key := int64(w)<<32 | int64(h)
+	if c, ok := tf2dBySize.Load(key); ok {
+		c.(*obs.Counter).Inc()
+		return
+	}
+	c := obs.NewCounter("fft_2d_transforms_" + strconv.Itoa(w) + "x" + strconv.Itoa(h) + "_total")
+	tf2dBySize.Store(key, c)
+	c.Inc()
+}
+
 func transform2D(c *grid.CField, inverse bool) {
+	count2D(c.W, c.H)
 	pw := getPlan(c.W)
 	ph := getPlan(c.H)
 	// Rows.

@@ -31,6 +31,7 @@ import (
 	"mosaic/internal/geom"
 	"mosaic/internal/grid"
 	"mosaic/internal/metrics"
+	"mosaic/internal/obs"
 	"mosaic/internal/sim"
 	"mosaic/internal/sraf"
 )
@@ -100,6 +101,14 @@ type Config struct {
 	DoseDelta      float64 // process corner dose range, paper: 0.02
 
 	TrackMetrics bool // evaluate full contest metrics every iteration (Fig. 6); slow
+
+	// OnIter, when non-nil, is called synchronously after every descent
+	// iteration with that iteration's statistics — exactly
+	// Result.Iterations times per run, with IterStats.Iter increasing
+	// from 0. It lets callers stream convergence (progress bars, live
+	// logs) instead of waiting for Result.History. The callback runs on
+	// the optimizer's goroutine; keep it cheap.
+	OnIter func(IterStats)
 }
 
 // DefaultConfig returns the paper's parameter set for the given mode.
@@ -168,6 +177,11 @@ type Result struct {
 	Iterations int
 	History    []IterStats
 	RuntimeSec float64
+	// DiagnosticsSec is the time spent in the full-SOCS TrackMetrics
+	// evaluation (Fig. 6 data collection). It is diagnostic-only and
+	// excluded from RuntimeSec so the reported runtime — and any Eq. 22
+	// score it feeds — reflects the optimization itself.
+	DiagnosticsSec float64
 }
 
 // Optimizer runs MOSAIC mask optimization against one forward model.
@@ -230,9 +244,15 @@ func (o *Optimizer) Run(layout *geom.Layout) (*Result, error) {
 	return o.runRaster(layout, target, samples)
 }
 
+// Optimizer metrics: iteration count plus the per-iteration and per-run
+// span histograms fed below.
+var iterations = obs.NewCounter("ilt_iterations_total")
+
 // runRaster is the core loop of Alg. 1 on a rasterized target.
 func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
+	runSpan := obs.Span("ilt.run")
 	start := time.Now()
+	var diagSec float64 // TrackMetrics evaluation time, excluded from RuntimeSec
 	cfg := o.Cfg
 	corners := o.corners()
 
@@ -261,6 +281,15 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 
 	iter := 0
 	for ; iter < cfg.MaxIter; iter++ {
+		iterStart := time.Now()
+		var diagDur time.Duration
+		// endIter records the iteration's optimizer time (diagnostic
+		// evaluation excluded) and must run on every loop exit path.
+		endIter := func() {
+			obs.ObserveSpan("ilt.iteration", time.Since(iterStart)-diagDur)
+			iterations.Inc()
+			diagSec += diagDur.Seconds()
+		}
 		state := o.evalState(mask, models, target, samples)
 		grad := o.gradient(state, mask, models, target, samples)
 
@@ -284,7 +313,9 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 			ProxyScore:     proxyScore,
 		}
 		if cfg.TrackMetrics {
+			dsp := obs.Span("ilt.track_metrics")
 			rep, err := metrics.Evaluate(o.Sim, mask.Threshold(0.5), layout, o.metricParams(), 0)
+			diagDur = dsp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -293,6 +324,9 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 			st.Score = rep.Score
 		}
 		best.History = append(best.History, st)
+		if cfg.OnIter != nil {
+			cfg.OnIter(st)
+		}
 
 		// Alg. 1 line 9: remember the iterate with the lowest objective
 		// value, measured as the Eq. 7 quantity (proxy score) with the
@@ -309,6 +343,7 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		if gradRMS < cfg.GradTol {
 			if jumps == 0 {
 				iter++
+				endIter()
 				break
 			}
 			jumps--
@@ -321,6 +356,7 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		scale := math.Max(math.Abs(lo), math.Abs(hi))
 		if scale < 1e-300 {
 			iter++
+			endIter()
 			break
 		}
 		if cfg.Momentum > 0 {
@@ -335,6 +371,7 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		}
 		step *= cfg.StepDecay
 		mask = maskFromParams(p, cfg.ThetaM)
+		endIter()
 	}
 
 	if best.MaskGray == nil {
@@ -342,7 +379,13 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 	}
 	best.Mask = best.MaskGray.Threshold(0.5)
 	best.Iterations = iter
-	best.RuntimeSec = time.Since(start).Seconds()
+	best.RuntimeSec = time.Since(start).Seconds() - diagSec
+	best.DiagnosticsSec = diagSec
+	runSpan.End()
+	obs.Logger().Debug("optimization finished",
+		"mode", cfg.Mode.String(), "layout", layout.Name, "iterations", iter,
+		"runtime_sec", best.RuntimeSec, "diagnostics_sec", diagSec,
+		"objective", best.Objective)
 	return best, nil
 }
 

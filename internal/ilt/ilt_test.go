@@ -280,3 +280,58 @@ func TestMomentumAcceleratesShortRuns(t *testing.T) {
 		t.Fatalf("momentum did not accelerate: %g vs %g", fast, plain)
 	}
 }
+
+func TestOnIterFiresPerIteration(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	var got []IterStats
+	o.Cfg.OnIter = func(st IterStats) { got = append(got, st) }
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != res.Iterations {
+		t.Fatalf("OnIter fired %d times, want Result.Iterations = %d", len(got), res.Iterations)
+	}
+	for i, st := range got {
+		if st.Iter != i {
+			t.Fatalf("OnIter call %d carried Iter %d; want monotonically increasing from 0", i, st.Iter)
+		}
+	}
+	if len(got) != len(res.History) {
+		t.Fatalf("OnIter fired %d times but History has %d entries", len(got), len(res.History))
+	}
+	for i := range got {
+		if got[i] != res.History[i] {
+			t.Fatalf("OnIter stats %d differ from History: %+v vs %+v", i, got[i], res.History[i])
+		}
+	}
+}
+
+func TestRuntimeExcludesDiagnostics(t *testing.T) {
+	o, layout := testOptimizer(t, ModeFast)
+	o.Cfg.MaxIter = 3
+	res, err := o.Run(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiagnosticsSec != 0 {
+		t.Fatalf("DiagnosticsSec = %g without TrackMetrics, want 0", res.DiagnosticsSec)
+	}
+	if res.RuntimeSec <= 0 {
+		t.Fatalf("RuntimeSec = %g, want > 0", res.RuntimeSec)
+	}
+
+	o2, layout2 := testOptimizer(t, ModeFast)
+	o2.Cfg.MaxIter = 3
+	o2.Cfg.TrackMetrics = true
+	res2, err := o2.Run(layout2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DiagnosticsSec <= 0 {
+		t.Fatalf("DiagnosticsSec = %g with TrackMetrics, want > 0", res2.DiagnosticsSec)
+	}
+	if res2.RuntimeSec < 0 {
+		t.Fatalf("RuntimeSec = %g went negative after excluding diagnostics", res2.RuntimeSec)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"mosaic/internal/geom"
 	"mosaic/internal/grid"
 	"mosaic/internal/metrics"
+	"mosaic/internal/obs"
 	"mosaic/internal/par"
 	"mosaic/internal/resist"
 	"mosaic/internal/sim"
@@ -84,6 +85,11 @@ type iterState struct {
 func (o *Optimizer) evalState(mask *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) *iterState {
 	st := &iterState{spec: o.Sim.Spectrum(mask)}
 	for _, m := range models {
+		label := m.c.Name
+		if label == "" {
+			label = "custom"
+		}
+		csp := obs.Span("ilt.forward." + label)
 		cs := cornerState{model: m, i: grid.New(mask.W, mask.H)}
 		cs.fields = make([]*grid.CField, len(m.freqs))
 		par.For(len(m.freqs), func(ki int) {
@@ -94,6 +100,7 @@ func (o *Optimizer) evalState(mask *grid.Field, models []cornerModel, target *gr
 		}
 		cs.z = o.Sim.Resist.PrintSigmoid(cs.i, m.c.Dose)
 		st.corners = append(st.corners, cs)
+		csp.End()
 	}
 
 	zNom := st.corners[0].z

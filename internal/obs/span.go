@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanHists caches the per-span-name histogram so Span stays allocation-
+// free after first use of a name.
+var spanHists sync.Map // string -> *Histogram
+
+// spanHistName maps a dotted span name to its Prometheus series name:
+// "optics.kernels" -> "span_optics_kernels_seconds".
+func spanHistName(name string) string {
+	return "span_" + strings.NewReplacer(".", "_", "-", "_", " ", "_").Replace(name) + "_seconds"
+}
+
+func spanHist(name string) *Histogram {
+	if h, ok := spanHists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h := NewHistogram(spanHistName(name))
+	spanHists.Store(name, h)
+	return h
+}
+
+// SpanTimer measures one timed region. Use obs.Span(name) ... End().
+type SpanTimer struct {
+	name  string
+	hist  *Histogram
+	start time.Time
+}
+
+// Span starts timing a named region. End records the duration into the
+// span's histogram (span_<name>_seconds) and, when tracing is enabled,
+// appends a JSONL trace event.
+func Span(name string) SpanTimer {
+	return SpanTimer{name: name, hist: spanHist(name), start: time.Now()}
+}
+
+// End stops the span and returns its duration.
+func (s SpanTimer) End() time.Duration {
+	d := time.Since(s.start)
+	s.hist.Observe(d.Seconds())
+	if traceEnabled.Load() {
+		traceEmit(s.name, s.start, d)
+	}
+	return d
+}
+
+// ObserveSpan records an externally measured duration under a span name —
+// for regions whose wall time is assembled from parts (e.g. an optimizer
+// iteration minus its diagnostic evaluation).
+func ObserveSpan(name string, d time.Duration) {
+	spanHist(name).Observe(d.Seconds())
+	if traceEnabled.Load() {
+		traceEmit(name, time.Now().Add(-d), d)
+	}
+}
+
+// TraceEvent is one line of the JSONL trace: a completed span with its
+// wall-clock start (µs since the Unix epoch) and duration (µs).
+type TraceEvent struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"ts_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+var (
+	traceEnabled atomic.Bool
+	traceMu      sync.Mutex
+	traceEnc     *json.Encoder
+	traceCloser  io.Closer
+)
+
+// StartTrace begins emitting one JSON object per completed span to w.
+// Any previously active trace is stopped first.
+func StartTrace(w io.Writer) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	closeTraceLocked()
+	traceEnc = json.NewEncoder(w)
+	if c, ok := w.(io.Closer); ok {
+		traceCloser = c
+	}
+	traceEnabled.Store(true)
+}
+
+// StartTraceFile begins tracing into a newly created file at path.
+func StartTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	StartTrace(f)
+	return nil
+}
+
+// StopTrace stops tracing and closes the trace sink if it is closable.
+func StopTrace() error {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return closeTraceLocked()
+}
+
+func closeTraceLocked() error {
+	traceEnabled.Store(false)
+	traceEnc = nil
+	var err error
+	if traceCloser != nil {
+		err = traceCloser.Close()
+		traceCloser = nil
+	}
+	return err
+}
+
+func traceEmit(name string, start time.Time, d time.Duration) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if traceEnc == nil {
+		return
+	}
+	traceEnc.Encode(TraceEvent{Name: name, StartUS: start.UnixMicro(), DurUS: d.Microseconds()})
+}

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"mosaic/internal/grid"
 	"mosaic/internal/linalg"
+	"mosaic/internal/obs"
 )
 
 // Config describes the imaging system and the mask sampling grid.
@@ -206,6 +208,13 @@ type KernelSet struct {
 	Weights   []float64      // eigenvalues, descending, normalized (see below)
 }
 
+// Kernel construction is the dominant startup cost; the span histogram
+// and gauge make it visible on a /metrics scrape.
+var (
+	kernelBuilds = obs.NewCounter("optics_kernel_builds_total")
+	socsOrder    = obs.NewGauge("optics_socs_order")
+)
+
 // BuildKernels constructs the SOCS kernel set for the given defocus by
 // eigendecomposing the TCC. Weights are normalized so that a fully clear
 // mask images to intensity 1.0 (open-frame normalization), which fixes the
@@ -214,6 +223,7 @@ func BuildKernels(c Config, defocusNM float64) (*KernelSet, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.Span("optics.build_kernels")
 	t := BuildTCC(c, defocusNM)
 	nk := c.Kernels
 	if nk > t.R {
@@ -250,6 +260,12 @@ func BuildKernels(c Config, defocusNM float64) (*KernelSet, error) {
 	for i := range ks.Weights {
 		ks.Weights[i] /= dc
 	}
+	d := sp.End()
+	kernelBuilds.Inc()
+	socsOrder.Set(float64(len(ks.Freqs)))
+	obs.Logger().Info("built SOCS kernels",
+		"defocus_nm", defocusNM, "order", len(ks.Freqs), "grid", c.GridSize,
+		"dur", d.Round(time.Millisecond))
 	return ks, nil
 }
 
@@ -281,6 +297,9 @@ func (ks *KernelSet) Combined() *grid.CField {
 var (
 	cacheMu sync.Mutex
 	cache   = map[string]*KernelSet{}
+
+	cacheHits   = obs.NewCounter("optics_kernel_cache_hits_total")
+	cacheMisses = obs.NewCounter("optics_kernel_cache_misses_total")
 )
 
 func cacheKey(c Config, defocus float64) string {
@@ -295,8 +314,10 @@ func Kernels(c Config, defocusNM float64) (*KernelSet, error) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if ks, ok := cache[key]; ok {
+		cacheHits.Inc()
 		return ks, nil
 	}
+	cacheMisses.Inc()
 	ks, err := BuildKernels(c, defocusNM)
 	if err != nil {
 		return nil, err

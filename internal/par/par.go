@@ -5,14 +5,43 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
 
+// PanicError is re-panicked on the caller's goroutine when a task panics:
+// it carries the task index, the original panic value, and the panicking
+// goroutine's stack. Without it, a panic inside a worker goroutine would
+// kill the whole process with a bare stack and no indication of which
+// task failed.
+type PanicError struct {
+	Index int    // task index i whose fn(i) panicked
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// call runs fn(i), converting a panic into a *PanicError.
+func call(i int, fn func(int)) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
 // For runs fn(i) for every i in [0, n) using up to GOMAXPROCS concurrent
 // workers. It returns when all calls have completed. fn must be safe to
-// call concurrently for distinct i.
+// call concurrently for distinct i. If any task panics, For re-panics on
+// the caller's goroutine with a *PanicError identifying the task.
 func For(n int, fn func(i int)) {
 	ForN(runtime.GOMAXPROCS(0), n, fn)
 }
@@ -28,11 +57,14 @@ func ForN(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if pe := call(i, fn); pe != nil {
+				panic(pe)
+			}
 		}
 		return
 	}
 	var next atomic.Int64
+	var firstPanic atomic.Pointer[PanicError]
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -43,9 +75,17 @@ func ForN(workers, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				if pe := call(i, fn); pe != nil {
+					// Keep the first panic; a panicking worker stops
+					// claiming tasks while the others drain the range.
+					firstPanic.CompareAndSwap(nil, pe)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if pe := firstPanic.Load(); pe != nil {
+		panic(pe)
+	}
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -34,6 +35,66 @@ func TestForNSequentialFallback(t *testing.T) {
 		if v != i {
 			t.Fatalf("out of order: %v", order)
 		}
+	}
+}
+
+func TestForNWorkerPanicRepanicsOnCaller(t *testing.T) {
+	defer func() {
+		v := recover()
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", v, v)
+		}
+		if pe.Index != 37 {
+			t.Fatalf("panic index %d, want 37", pe.Index)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("panic value %v, want boom", pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "task 37 panicked: boom") {
+			t.Fatalf("message %q lacks task index", pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatal("panic stack missing")
+		}
+	}()
+	ForN(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForN returned despite a panicking task")
+}
+
+func TestForNSerialPanicKeepsIndex(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok || pe.Index != 3 {
+			t.Fatalf("recovered %v, want *PanicError with index 3", pe)
+		}
+	}()
+	ForN(1, 5, func(i int) {
+		if i == 3 {
+			panic("serial boom")
+		}
+	})
+	t.Fatal("serial ForN returned despite a panicking task")
+}
+
+func TestForNAllTasksRunDespitePanic(t *testing.T) {
+	// Non-panicking tasks keep running on the surviving workers.
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		ForN(8, 200, func(i int) {
+			if i == 0 {
+				panic("early")
+			}
+			ran.Add(1)
+		})
+	}()
+	if got := ran.Load(); got != 199 {
+		t.Fatalf("%d non-panicking tasks ran, want 199", got)
 	}
 }
 

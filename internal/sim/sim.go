@@ -11,6 +11,7 @@ import (
 
 	"mosaic/internal/fft"
 	"mosaic/internal/grid"
+	"mosaic/internal/obs"
 	"mosaic/internal/optics"
 	"mosaic/internal/par"
 	"mosaic/internal/resist"
@@ -27,6 +28,15 @@ type Corner struct {
 
 // Nominal returns the nominal process condition (best focus, unit dose).
 func Nominal() Corner { return Corner{Name: "nominal", DefocusNM: 0, Dose: 1} }
+
+// spanLabel names the per-corner timing span; unnamed ad-hoc corners
+// share one label so the metric set stays bounded.
+func (c Corner) spanLabel() string {
+	if c.Name == "" {
+		return "custom"
+	}
+	return c.Name
+}
 
 // ProcessCorners returns the corner set used throughout the paper's
 // experiments: nominal plus the two extreme corners of a +/-defocusNM,
@@ -100,6 +110,7 @@ func (s *Simulator) Aerial(mask *grid.Field, c Corner) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer obs.Span("sim.aerial." + c.spanLabel()).End()
 	spec := s.Spectrum(mask)
 	partial := make([]*grid.Field, len(ks.Freqs))
 	par.For(len(ks.Freqs), func(i int) {
@@ -123,6 +134,7 @@ func (s *Simulator) AerialCombined(mask *grid.Field, c Corner) (*grid.Field, err
 	if err != nil {
 		return nil, err
 	}
+	defer obs.Span("sim.aerial_combined." + c.spanLabel()).End()
 	spec := s.Spectrum(mask)
 	field := s.FieldFromSpectrum(spec, ks.Combined(), ks.K)
 	return field.Abs2(), nil

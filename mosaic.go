@@ -19,6 +19,8 @@ package mosaic
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"mosaic/internal/bench"
@@ -27,6 +29,7 @@ import (
 	"mosaic/internal/grid"
 	"mosaic/internal/ilt"
 	"mosaic/internal/metrics"
+	"mosaic/internal/obs"
 	"mosaic/internal/opc"
 	"mosaic/internal/optics"
 	"mosaic/internal/resist"
@@ -80,6 +83,8 @@ type (
 	Complexity = metrics.Complexity
 	// MRCViolation is one mask-rule-check finding.
 	MRCViolation = metrics.MRCViolation
+	// SpanTimer is a running obs span; End records its duration.
+	SpanTimer = obs.SpanTimer
 )
 
 // Optimization modes.
@@ -87,6 +92,43 @@ const (
 	ModeFast  = ilt.ModeFast
 	ModeExact = ilt.ModeExact
 )
+
+// Observability: the pipeline records metrics (kernel-build time, FFT
+// counts, per-corner simulation time, per-iteration optimizer time) into
+// a process-wide registry and logs through a shared log/slog logger.
+// Config.OnIter streams per-iteration statistics during optimization; the
+// knobs below surface the rest without importing internal packages.
+
+// Logger returns the process-wide pipeline logger (default: stderr text
+// at warn level).
+func Logger() *slog.Logger { return obs.Logger() }
+
+// SetLogger replaces the pipeline logger; nil restores the default.
+func SetLogger(l *slog.Logger) { obs.SetLogger(l) }
+
+// SetLogLevel adjusts the default logger's level (e.g. slog.LevelDebug).
+func SetLogLevel(l slog.Level) { obs.SetLogLevel(l) }
+
+// WriteMetrics dumps every pipeline metric in Prometheus text format.
+func WriteMetrics(w io.Writer) error { return obs.WriteMetrics(w) }
+
+// MetricsText returns the WriteMetrics dump as a string.
+func MetricsText() string { return obs.MetricsText() }
+
+// Span starts a named timing span that feeds the metrics registry (and
+// the JSONL trace when one is active); call End on the result.
+func Span(name string) SpanTimer { return obs.Span(name) }
+
+// ServeDebug serves net/http/pprof, /debug/vars and /metrics on addr in
+// the background, returning the bound address.
+func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
+
+// StartTraceFile begins writing one JSON object per completed span to a
+// file; StopTrace flushes and closes it.
+func StartTraceFile(path string) error { return obs.StartTraceFile(path) }
+
+// StopTrace ends span tracing started by StartTraceFile.
+func StopTrace() error { return obs.StopTrace() }
 
 // DefaultOptics returns the paper's imaging configuration (193 nm, NA
 // 1.35, annular 0.6/0.9, 24 SOCS kernels) on a 512-pixel grid covering the
