@@ -19,5 +19,16 @@ test:
 build:
 	$(GO) build ./...
 
+# bench runs the paper-table and convolution-engine benchmarks and archives
+# both a benchstat-compatible text file and a JSON rendering under results/,
+# stamped with today's date.
+BENCH_PATTERN ?= Table2|Table3|Convolve
+BENCH_STAMP := $(shell date +%Y%m%d)
+
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	@mkdir -p results
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem ./... \
+		| tee results/BENCH_$(BENCH_STAMP).txt
+	$(GO) run ./cmd/benchjson < results/BENCH_$(BENCH_STAMP).txt \
+		> results/BENCH_$(BENCH_STAMP).json
+	@echo "wrote results/BENCH_$(BENCH_STAMP).txt and .json"

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mosaic
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable3RuntimeFast  	       3	 445979515 ns/op	 7392618 B/op	    2764 allocs/op
+BenchmarkConvolveInversePruned-8   	    1000	    295228 ns/op
+PASS
+ok  	mosaic	2.1s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "mosaic" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkTable3RuntimeFast" || r.Iterations != 3 ||
+		r.NsPerOp != 445979515 || r.BytesPerOp != 7392618 || r.AllocsPerOp != 2764 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	if r2 := rep.Results[1]; r2.BytesPerOp != 0 || r2.NsPerOp != 295228 {
+		t.Fatalf("bad -benchmem-less result: %+v", r2)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken notanumber ns/op\nhello\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("garbage parsed as results: %+v", rep.Results)
+	}
+}

@@ -1,0 +1,233 @@
+package fft
+
+import (
+	"fmt"
+
+	"mosaic/internal/grid"
+	"mosaic/internal/obs"
+	"mosaic/internal/par"
+)
+
+// Band-limited pruned transforms.
+//
+// The imaging system passes no energy outside the central (2k+1)^2
+// frequency block, so every convolution in the hot loop transforms a
+// spectrum that is zero almost everywhere (inverse direction) or whose
+// output is discarded almost everywhere (forward direction). A separable
+// 2-D FFT lets both directions skip one full pass:
+//
+//   - Inverse: only 2k+1 spectrum rows are nonzero, so the row pass runs
+//     2k+1 length-W FFTs instead of H. The column pass still needs all W
+//     transforms because the spatial output is dense. Work drops from
+//     (H + W) 1-D FFTs to (2k+1 + W), a bit under half for k << H, and one
+//     of the two cache-blocked transposes disappears because the pruned
+//     row pass scatters directly into transposed layout.
+//   - Forward: the caller only consumes the central block, so after the
+//     dense row pass the column pass runs 2k+1 FFTs instead of W, and no
+//     transposes are needed at all.
+//   - Real input (the mask): two real rows pack into one complex transform
+//     (a + i*b), unpacked through conjugate symmetry, halving the dense row
+//     pass of the forward transform on top of the column pruning.
+//
+// EmbedCenter + Inverse2D (and Forward2D + ExtractCenter) remain the
+// reference implementations; the equivalence tests pin the pruned paths to
+// them at 1e-12.
+
+// Pruned-transform counters: how often the engine skipped work versus fell
+// back to a full transform (rectangular grids take the reference path).
+var (
+	prunedInverse  = obs.NewCounter("fft_pruned_inverse_total")
+	prunedForward  = obs.NewCounter("fft_pruned_forward_total")
+	prunedFallback = obs.NewCounter("fft_pruned_fallback_total")
+)
+
+func checkBlock(blk *grid.CField, w, h int) int {
+	if blk.W != blk.H || blk.W%2 != 1 {
+		panic(fmt.Sprintf("fft: band block must be an odd square, got %dx%d", blk.W, blk.H))
+	}
+	k := blk.W / 2
+	if 2*k+1 > w || 2*k+1 > h {
+		panic(fmt.Sprintf("fft: band block %dx%d exceeds grid %dx%d", blk.W, blk.H, w, h))
+	}
+	return k
+}
+
+// InverseBandLimited computes the normalized inverse 2-D FFT of the w x h
+// spectrum whose only nonzero entries are the central band-limited block
+// blk (indexed as produced by ExtractCenter, frequencies in [-k, k]),
+// writing the spatial-domain field into dst. dst must be w x h; its prior
+// contents are ignored and fully overwritten. It is equivalent to
+// Inverse2D(EmbedCenter(blk, w, h)) without the embedding allocation and
+// with the all-zero row transforms skipped.
+func InverseBandLimited(blk *grid.CField, w, h int, dst *grid.CField) {
+	k := checkBlock(blk, w, h)
+	if dst.W != w || dst.H != h {
+		panic(fmt.Sprintf("fft: InverseBandLimited dst is %dx%d, want %dx%d", dst.W, dst.H, w, h))
+	}
+	if w != h {
+		// Rectangular grids cannot reuse the in-place square transpose;
+		// they are rare (masks are square), so take the reference path.
+		prunedFallback.Inc()
+		dst.Zero()
+		embedInto(dst, blk, k)
+		Inverse2D(dst)
+		return
+	}
+	prunedInverse.Inc()
+	n := w
+	p := getPlan(n)
+	dst.Zero()
+	// Pruned row pass: inverse-transform the 2k+1 nonzero spectrum rows,
+	// scattering each result into a column of dst so that dst holds the
+	// intermediate in transposed layout and the second pass streams rows.
+	scratch := grid.GetC(n, 1)
+	row := scratch.Data
+	for dy := -k; dy <= k; dy++ {
+		sy := (dy + n) % n
+		for i := range row {
+			row[i] = 0
+		}
+		for dx := -k; dx <= k; dx++ {
+			row[(dx+n)%n] = blk.At(dx+k, dy+k)
+		}
+		transform(row, p, true)
+		for x := 0; x < n; x++ {
+			dst.Data[x*n+sy] = row[x]
+		}
+	}
+	grid.PutC(scratch)
+	// Dense column pass (as rows of the transposed intermediate), with the
+	// 1/(W*H) normalization folded in.
+	inv := complex(1/float64(n*n), 0)
+	pass := func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			r := dst.Row(y)
+			transform(r, p, true)
+			for i := range r {
+				r[i] *= inv
+			}
+		}
+	}
+	if n*n >= parallelElems {
+		par.ForChunks(n, pass)
+	} else {
+		pass(0, n)
+	}
+	transposeSquare(dst)
+}
+
+// embedInto writes blk into the centered low-frequency positions of the
+// zeroed spectrum dst (the in-place form of EmbedCenter).
+func embedInto(dst *grid.CField, blk *grid.CField, k int) {
+	for dy := -k; dy <= k; dy++ {
+		sy := (dy + dst.H) % dst.H
+		for dx := -k; dx <= k; dx++ {
+			dst.Set((dx+dst.W)%dst.W, sy, blk.At(dx+k, dy+k))
+		}
+	}
+}
+
+// ForwardBandLimited computes the central band-limited block (half-width
+// k) of the forward 2-D FFT of src into blk, which must be (2k+1)^2. Only
+// the band columns are transformed in the second pass, cutting the work
+// roughly in half for k << W. src is used as scratch for the row pass and
+// holds unspecified contents afterwards. It is equivalent to
+// ExtractCenter(Forward2D(src), k) without materializing the full spectrum.
+func ForwardBandLimited(src *grid.CField, k int, blk *grid.CField) {
+	checkBlock(blk, src.W, src.H)
+	prunedForward.Inc()
+	pw := getPlan(src.W)
+	rowPass := func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			transform(src.Row(y), pw, false)
+		}
+	}
+	if src.W*src.H >= parallelElems {
+		par.ForChunks(src.H, rowPass)
+	} else {
+		rowPass(0, src.H)
+	}
+	bandColumns(src, k, blk)
+}
+
+// bandColumns runs the forward column transforms for the 2k+1 band columns
+// of the row-transformed field ws, extracting the band rows into blk.
+func bandColumns(ws *grid.CField, k int, blk *grid.CField) {
+	ph := getPlan(ws.H)
+	w, h := ws.W, ws.H
+	pass := func(lo, hi int) {
+		scratch := grid.GetC(h, 1)
+		col := scratch.Data
+		for bi := lo; bi < hi; bi++ {
+			dx := bi - k
+			sx := (dx + w) % w
+			for y := 0; y < h; y++ {
+				col[y] = ws.Data[y*w+sx]
+			}
+			transform(col, ph, false)
+			for dy := -k; dy <= k; dy++ {
+				blk.Set(dx+k, dy+k, col[(dy+h)%h])
+			}
+		}
+		grid.PutC(scratch)
+	}
+	if w*h >= parallelElems {
+		par.ForChunks(2*k+1, pass)
+	} else {
+		pass(0, 2*k+1)
+	}
+}
+
+// ForwardBandLimitedReal computes the central band-limited block of the
+// forward 2-D FFT of the real field f into blk ((2k+1)^2). The dense row
+// pass packs two real rows into one complex transform (rows a and b become
+// a + i*b; conjugate symmetry untangles their spectra), halving its cost,
+// and the column pass prunes to the 2k+1 band columns. f is not modified.
+func ForwardBandLimitedReal(f *grid.Field, k int, blk *grid.CField) {
+	checkBlock(blk, f.W, f.H)
+	prunedForward.Inc()
+	ws := grid.GetC(f.W, f.H)
+	pw := getPlan(f.W)
+	n := f.W
+	pairs := (f.H + 1) / 2
+	pairPass := func(lo, hi int) {
+		scratch := grid.GetC(n, 1)
+		z := scratch.Data
+		for pi := lo; pi < hi; pi++ {
+			y := 2 * pi
+			if y+1 == f.H {
+				// Odd trailing row: plain real-input transform.
+				a := f.Row(y)
+				r := ws.Row(y)
+				for x, v := range a {
+					r[x] = complex(v, 0)
+				}
+				transform(r, pw, false)
+				continue
+			}
+			a, b := f.Row(y), f.Row(y+1)
+			for x := range z {
+				z[x] = complex(a[x], b[x])
+			}
+			transform(z, pw, false)
+			// Unpack FFT(a) and FFT(b) from FFT(a + i*b):
+			// A[j] = (Z[j] + conj(Z[n-j]))/2, B[j] = (Z[j] - conj(Z[n-j]))/(2i).
+			ra, rb := ws.Row(y), ws.Row(y+1)
+			for j := 0; j < n; j++ {
+				zj := z[j]
+				zc := z[(n-j)%n]
+				zc = complex(real(zc), -imag(zc))
+				ra[j] = (zj + zc) * 0.5
+				rb[j] = (zj - zc) * complex(0, -0.5)
+			}
+		}
+		grid.PutC(scratch)
+	}
+	if f.W*f.H >= parallelElems {
+		par.ForChunks(pairs, pairPass)
+	} else {
+		pairPass(0, pairs)
+	}
+	bandColumns(ws, k, blk)
+	grid.PutC(ws)
+}

@@ -5,6 +5,12 @@
 // optical kernels live on a small central frequency patch of the full mask
 // spectrum).
 //
+// The band-limit is also exploited computationally: InverseBandLimited,
+// ForwardBandLimited and ForwardBandLimitedReal in bandlimited.go prune
+// the transform passes that only touch zero (or discarded) frequencies,
+// roughly halving the FFT work per convolution, and large transforms
+// parallelize their row/column passes across cores.
+//
 // All transform lengths must be powers of two; NextPow2 rounds sizes up.
 package fft
 
@@ -17,6 +23,7 @@ import (
 
 	"mosaic/internal/grid"
 	"mosaic/internal/obs"
+	"mosaic/internal/par"
 )
 
 // NextPow2 returns the smallest power of two >= n (and at least 1).
@@ -39,16 +46,26 @@ type plan struct {
 	wInv []complex128 // inverse twiddles
 }
 
+// The plan cache is read on every transform and written a handful of times
+// per process, so reads go through a lock-free sync.Map; the mutex only
+// serializes plan construction.
 var (
-	plansMu sync.Mutex
-	plans   = map[int]*plan{}
+	plans        sync.Map // int -> *plan
+	plansBuildMu sync.Mutex
 )
 
 func getPlan(n int) *plan {
-	plansMu.Lock()
-	defer plansMu.Unlock()
-	if p, ok := plans[n]; ok {
-		return p
+	if p, ok := plans.Load(n); ok {
+		return p.(*plan)
+	}
+	return buildPlan(n)
+}
+
+func buildPlan(n int) *plan {
+	plansBuildMu.Lock()
+	defer plansBuildMu.Unlock()
+	if p, ok := plans.Load(n); ok {
+		return p.(*plan)
 	}
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
@@ -66,7 +83,7 @@ func getPlan(n int) *plan {
 		p.wFwd[k] = complex(c, s)
 		p.wInv[k] = complex(c, -s)
 	}
-	plans[n] = p
+	plans.Store(n, p)
 	return p
 }
 
@@ -147,35 +164,59 @@ func count2D(w, h int) {
 	c.Inc()
 }
 
+// parallelElems is the field size (in elements) above which the row and
+// column passes of a 2-D transform fan out across cores via par.ForChunks.
+// Below it, goroutine overhead beats the win; the threshold corresponds to
+// a 256x256 grid, where a full pass costs hundreds of microseconds.
+const parallelElems = 1 << 16
+
 func transform2D(c *grid.CField, inverse bool) {
 	count2D(c.W, c.H)
 	pw := getPlan(c.W)
 	ph := getPlan(c.H)
-	// Rows.
-	for y := 0; y < c.H; y++ {
-		transform(c.Row(y), pw, inverse)
+	parallel := c.W*c.H >= parallelElems
+	rows := func(p *plan) {
+		pass := func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				transform(c.Row(y), p, inverse)
+			}
+		}
+		if parallel {
+			par.ForChunks(c.H, pass)
+		} else {
+			pass(0, c.H)
+		}
 	}
+	rows(pw)
 	if c.W == c.H {
 		// Square grids (the common case): transpose, FFT rows again,
 		// transpose back. Both passes then stream memory sequentially,
 		// which is substantially faster than strided column access.
 		transposeSquare(c)
-		for y := 0; y < c.H; y++ {
-			transform(c.Row(y), ph, inverse)
-		}
+		rows(ph) // pw == ph on a square grid
 		transposeSquare(c)
 		return
 	}
-	// Rectangular fallback: columns via a scratch buffer.
-	col := make([]complex128, c.H)
-	for x := 0; x < c.W; x++ {
-		for y := 0; y < c.H; y++ {
-			col[y] = c.Data[y*c.W+x]
+	// Rectangular fallback: columns via a pooled scratch buffer (one per
+	// worker chunk).
+	colPass := func(lo, hi int) {
+		scratch := grid.GetC(c.H, 1)
+		col := scratch.Data
+		for x := lo; x < hi; x++ {
+			for y := 0; y < c.H; y++ {
+				col[y] = c.Data[y*c.W+x]
+			}
+			transform(col, ph, inverse)
+			for y := 0; y < c.H; y++ {
+				c.Data[y*c.W+x] = col[y]
+			}
 		}
-		transform(col, ph, inverse)
-		for y := 0; y < c.H; y++ {
-			c.Data[y*c.W+x] = col[y]
-		}
+		grid.PutC(scratch)
+	}
+	if parallel {
+		par.ForChunks(c.W, colPass)
+	} else {
+		colPass(0, c.W)
 	}
 }
 

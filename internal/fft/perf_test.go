@@ -43,3 +43,65 @@ func BenchmarkFFT512ColumnScratch(b *testing.B) {
 		oldTransform2D(c, false)
 	}
 }
+
+// The Convolve benchmarks compare the pruned band-limited convolution engine
+// against the dense EmbedCenter+Inverse2D / Forward2D reference at the
+// production bench geometry (128 grid, K=14 → 29×29 block).
+
+const (
+	convN = 128
+	convK = 14
+)
+
+func convBlock() *grid.CField {
+	blk := grid.NewC(2*convK+1, 2*convK+1)
+	for i := range blk.Data {
+		blk.Data[i] = complex(float64(i%13)-6, float64(i%7)-3)
+	}
+	return blk
+}
+
+func BenchmarkConvolveInverseReference(b *testing.B) {
+	blk := convBlock()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		full := EmbedCenter(blk, convN, convN)
+		Inverse2D(full)
+	}
+}
+
+func BenchmarkConvolveInversePruned(b *testing.B) {
+	blk := convBlock()
+	dst := grid.NewC(convN, convN)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InverseBandLimited(blk, convN, convN, dst)
+	}
+}
+
+func BenchmarkConvolveForwardReference(b *testing.B) {
+	mask := grid.New(convN, convN)
+	for i := range mask.Data {
+		if i%3 == 0 {
+			mask.Data[i] = 1
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Forward2D(grid.ToComplex(mask))
+	}
+}
+
+func BenchmarkConvolveForwardPrunedReal(b *testing.B) {
+	mask := grid.New(convN, convN)
+	for i := range mask.Data {
+		if i%3 == 0 {
+			mask.Data[i] = 1
+		}
+	}
+	blk := grid.NewC(2*convK+1, 2*convK+1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForwardBandLimitedReal(mask, convK, blk)
+	}
+}

@@ -1,0 +1,85 @@
+package grid
+
+import (
+	"sync"
+
+	"mosaic/internal/obs"
+)
+
+// Workspace pools. The convolution engine allocates and discards full-grid
+// fields at a high rate (one complex field per kernel per corner per
+// descent iteration); recycling them through size-keyed sync.Pools keeps
+// the steady-state iteration at near-zero N^2 heap allocation.
+//
+// Ownership rules:
+//   - Get/GetC return a field with UNSPECIFIED contents; call Zero() when
+//     the caller accumulates instead of overwriting.
+//   - A field obtained from the pool is owned by the caller until it is
+//     released with Put/PutC; releasing is optional (a dropped field is
+//     simply garbage) but forgetting it forfeits the pooling benefit.
+//   - Never use a field after releasing it, and never release a field that
+//     is still referenced elsewhere (e.g. one retained in a result).
+var (
+	fieldPoolHits    = obs.NewCounter("grid_pool_field_hits_total")
+	fieldPoolMisses  = obs.NewCounter("grid_pool_field_misses_total")
+	cfieldPoolHits   = obs.NewCounter("grid_pool_cfield_hits_total")
+	cfieldPoolMisses = obs.NewCounter("grid_pool_cfield_misses_total")
+)
+
+// sizedPools maps a (w, h) key to the sync.Pool recycling fields of exactly
+// that shape. Pools are created on first use and live for the process.
+type sizedPools struct{ m sync.Map } // int64 (w<<32|h) -> *sync.Pool
+
+func (s *sizedPools) get(w, h int) *sync.Pool {
+	key := int64(w)<<32 | int64(h)
+	if p, ok := s.m.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := s.m.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+var (
+	fieldPools  sizedPools
+	cfieldPools sizedPools
+)
+
+// Get returns a w x h field from the workspace pool, allocating one on a
+// pool miss. Contents are unspecified; call Zero before accumulating.
+func Get(w, h int) *Field {
+	if f, ok := fieldPools.get(w, h).Get().(*Field); ok {
+		fieldPoolHits.Inc()
+		return f
+	}
+	fieldPoolMisses.Inc()
+	return New(w, h)
+}
+
+// Put returns a field obtained from Get to the pool. Putting a field not
+// obtained from Get is allowed as long as its dimensions are honest.
+func Put(f *Field) {
+	if f == nil || len(f.Data) != f.W*f.H {
+		return
+	}
+	fieldPools.get(f.W, f.H).Put(f)
+}
+
+// GetC returns a w x h complex field from the workspace pool, allocating
+// one on a pool miss. Contents are unspecified; call Zero before
+// accumulating.
+func GetC(w, h int) *CField {
+	if c, ok := cfieldPools.get(w, h).Get().(*CField); ok {
+		cfieldPoolHits.Inc()
+		return c
+	}
+	cfieldPoolMisses.Inc()
+	return NewC(w, h)
+}
+
+// PutC returns a complex field obtained from GetC to the pool.
+func PutC(c *CField) {
+	if c == nil || len(c.Data) != c.W*c.H {
+		return
+	}
+	cfieldPools.get(c.W, c.H).Put(c)
+}

@@ -1,0 +1,93 @@
+package grid
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mosaic/internal/obs"
+)
+
+func TestPoolRecyclesBySize(t *testing.T) {
+	a := Get(8, 4)
+	if a.W != 8 || a.H != 4 || len(a.Data) != 32 {
+		t.Fatalf("Get returned wrong shape %dx%d", a.W, a.H)
+	}
+	a.Fill(7)
+	Put(a)
+	b := Get(8, 4)
+	// Contents are unspecified after Get; Zero must clear them.
+	b.Zero()
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("Zero left %g at %d", v, i)
+		}
+	}
+	// A different size never aliases the recycled buffer.
+	c := Get(4, 8)
+	if &c.Data[0] == &b.Data[0] {
+		t.Fatal("distinct sizes share a backing array")
+	}
+}
+
+func TestPoolComplexRoundTrip(t *testing.T) {
+	a := GetC(16, 16)
+	a.Data[3] = 2 + 3i
+	PutC(a)
+	b := GetC(16, 16).Zero()
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("Zero left %v at %d", v, i)
+		}
+	}
+	PutC(b)
+}
+
+func TestPoolNilAndDishonestPut(t *testing.T) {
+	Put(nil)  // must not panic
+	PutC(nil) // must not panic
+	// A field whose Data length disagrees with its dimensions is rejected,
+	// so a later Get cannot hand out a short buffer.
+	Put(&Field{W: 100, H: 100, Data: make([]float64, 4)})
+	f := Get(100, 100)
+	if len(f.Data) != 100*100 {
+		t.Fatalf("pool handed out a dishonest buffer of len %d", len(f.Data))
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f := Get(32, 32).Zero()
+				f.Fill(1)
+				Put(f)
+				c := GetC(32, 32).Zero()
+				c.Data[0] = 1
+				PutC(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolCountersVisible(t *testing.T) {
+	Put(Get(2, 2))
+	Get(2, 2) // guaranteed hit after the Put above... not strictly, but the
+	// counters must at least exist and be nonzero in aggregate.
+	txt := obs.MetricsText()
+	for _, name := range []string{
+		"grid_pool_field_hits_total", "grid_pool_field_misses_total",
+		"grid_pool_cfield_hits_total", "grid_pool_cfield_misses_total",
+	} {
+		if !strings.Contains(txt, name) {
+			t.Errorf("metrics dump missing %s", name)
+		}
+	}
+	if fieldPoolHits.Value()+fieldPoolMisses.Value() == 0 {
+		t.Error("field pool counters did not advance")
+	}
+}

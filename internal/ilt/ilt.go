@@ -301,6 +301,7 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		gradRMS := grad.RMS()
 
 		proxyEPE, proxyPVB := o.proxyMetrics(state, samples)
+		state.release() // pooled forward buffers are done for this iteration
 		proxyScore := metrics.Score(0, proxyPVB, proxyEPE, 0)
 		st := IterStats{
 			Iter:           iter,
@@ -342,6 +343,7 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		// (the jump technique of [12] enlarges the step to escape).
 		if gradRMS < cfg.GradTol {
 			if jumps == 0 {
+				grid.Put(grad)
 				iter++
 				endIter()
 				break
@@ -355,6 +357,7 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		lo, hi := grad.MinMax()
 		scale := math.Max(math.Abs(lo), math.Abs(hi))
 		if scale < 1e-300 {
+			grid.Put(grad)
 			iter++
 			endIter()
 			break
@@ -369,8 +372,9 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		} else {
 			p.AddScaled(grad, -step/scale)
 		}
+		grid.Put(grad)
 		step *= cfg.StepDecay
-		mask = maskFromParams(p, cfg.ThetaM)
+		maskFromParamsInto(mask, p, cfg.ThetaM)
 		endIter()
 	}
 
@@ -416,9 +420,15 @@ func paramsFromMask(m *grid.Field, thetaM float64) *grid.Field {
 
 // maskFromParams applies Eq. 8.
 func maskFromParams(p *grid.Field, thetaM float64) *grid.Field {
-	m := grid.NewLike(p)
+	return maskFromParamsInto(grid.NewLike(p), p, thetaM)
+}
+
+// maskFromParamsInto applies Eq. 8 into dst, letting the descent loop
+// reuse one mask buffer across iterations instead of allocating N^2 per
+// step.
+func maskFromParamsInto(dst, p *grid.Field, thetaM float64) *grid.Field {
 	for i, v := range p.Data {
-		m.Data[i] = 1 / (1 + math.Exp(-thetaM*v))
+		dst.Data[i] = 1 / (1 + math.Exp(-thetaM*v))
 	}
-	return m
+	return dst
 }

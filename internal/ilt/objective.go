@@ -3,6 +3,7 @@ package ilt
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mosaic/internal/fft"
 	"mosaic/internal/geom"
@@ -68,11 +69,12 @@ type cornerState struct {
 }
 
 // iterState is everything the objective and gradient share in one
-// iteration.
+// iteration. Every full-grid buffer it holds comes from the workspace
+// pool; release returns them once the iteration is done with the state.
 type iterState struct {
-	spec    *grid.CField // full FFT of the current mask
-	corners []cornerState
-	epeW    *grid.Field // exact mode: dF_epe/dD per pixel (weight-map form of Eq. 14)
+	specBand *grid.CField // band-limited FFT of the current mask
+	corners  []cornerState
+	epeW     *grid.Field // exact mode: dF_epe/dD per pixel (weight-map form of Eq. 14)
 
 	objective float64
 	fTarget   float64
@@ -80,25 +82,55 @@ type iterState struct {
 	fSmooth   float64
 }
 
+// release returns every pooled buffer held by the state to the workspace
+// pool. The state must not be used afterwards.
+func (st *iterState) release() {
+	if st.specBand != nil {
+		grid.PutC(st.specBand)
+		st.specBand = nil
+	}
+	for i := range st.corners {
+		cs := &st.corners[i]
+		for _, f := range cs.fields {
+			grid.PutC(f)
+		}
+		cs.fields = nil
+		if cs.i != nil {
+			grid.Put(cs.i)
+			cs.i = nil
+		}
+		if cs.z != nil {
+			grid.Put(cs.z)
+			cs.z = nil
+		}
+	}
+	if st.epeW != nil {
+		grid.Put(st.epeW)
+		st.epeW = nil
+	}
+}
+
 // evalState runs the forward model at every corner and evaluates the
 // objective of the configured mode.
 func (o *Optimizer) evalState(mask *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) *iterState {
-	st := &iterState{spec: o.Sim.Spectrum(mask)}
+	// All corner models share the optics configuration, hence the same
+	// frequency block half-width.
+	st := &iterState{specBand: o.Sim.SpectrumBand(mask, models[0].k)}
 	for _, m := range models {
 		label := m.c.Name
 		if label == "" {
 			label = "custom"
 		}
 		csp := obs.Span("ilt.forward." + label)
-		cs := cornerState{model: m, i: grid.New(mask.W, mask.H)}
+		cs := cornerState{model: m, i: grid.Get(mask.W, mask.H).Zero()}
 		cs.fields = make([]*grid.CField, len(m.freqs))
 		par.For(len(m.freqs), func(ki int) {
-			cs.fields[ki] = o.Sim.FieldFromSpectrum(st.spec, m.freqs[ki], m.k)
+			cs.fields[ki] = o.Sim.FieldFromSpectrumBand(st.specBand, m.freqs[ki], m.k)
 		})
 		for ki, f := range cs.fields {
 			f.AccumAbs2(cs.i, m.weights[ki])
 		}
-		cs.z = o.Sim.Resist.PrintSigmoid(cs.i, m.c.Dose)
+		cs.z = o.Sim.Resist.PrintSigmoidInto(grid.Get(mask.W, mask.H), cs.i, m.c.Dose)
 		st.corners = append(st.corners, cs)
 		csp.End()
 	}
@@ -212,7 +244,7 @@ func (o *Optimizer) epeObjective(z, target *grid.Field, samples []geom.Sample) (
 		w = 1
 	}
 	n := z.W
-	weights := grid.NewLike(z)
+	weights := grid.Get(z.W, z.H).Zero() // released via iterState.release
 	f := 0.0
 	for _, s := range samples {
 		sx := clampInt(int(s.Pt.X/px), 0, n-1)
@@ -272,9 +304,12 @@ func (o *Optimizer) proxyMetrics(st *iterState, samples []geom.Sample) (epe int,
 	epe = metrics.CountViolations(res)
 	printed := make([]*grid.Field, len(st.corners))
 	for i, cs := range st.corners {
-		printed[i] = o.Sim.Resist.Print(cs.i, cs.model.c.Dose)
+		printed[i] = o.Sim.Resist.PrintInto(grid.Get(cs.i.W, cs.i.H), cs.i, cs.model.c.Dose)
 	}
 	_, pvbNM2 = metrics.PVBand(printed, px)
+	for _, p := range printed {
+		grid.Put(p)
+	}
 	return epe, pvbNM2
 }
 
@@ -293,12 +328,19 @@ func (o *Optimizer) proxyMetrics(st *iterState, samples []geom.Sample) (epe int,
 func (o *Optimizer) gradient(st *iterState, mask *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) *grid.Field {
 	cfg := o.Cfg
 	thetaZ := o.Sim.Resist.ThetaZ
-	grad := grid.NewLike(mask)
+	// The returned gradient comes from the workspace pool; runRaster
+	// releases it at the end of the iteration.
+	grad := grid.Get(mask.W, mask.H).Zero()
 
 	for ci, cs := range st.corners {
-		// dF/dZ_c for this corner.
-		dFdZ := grid.NewLike(mask)
-		nonzero := false
+		if ci == 0 && cfg.Alpha == 0 {
+			continue
+		}
+		if ci > 0 && cfg.Beta == 0 {
+			continue
+		}
+		// dF/dZ_c for this corner (fully overwritten below, no zeroing).
+		dFdZ := grid.Get(mask.W, mask.H)
 		if ci == 0 {
 			switch cfg.Mode {
 			case ModeFast:
@@ -311,15 +353,10 @@ func (o *Optimizer) gradient(st *iterState, mask *grid.Field, models []cornerMod
 					dFdZ.Data[i] = cfg.Alpha * st.epeW.Data[i] * 2 * (v - target.Data[i])
 				}
 			}
-			nonzero = cfg.Alpha != 0
 		} else {
 			for i, v := range cs.z.Data {
 				dFdZ.Data[i] = cfg.Beta * 2 * (v - target.Data[i])
 			}
-			nonzero = cfg.Beta != 0
-		}
-		if !nonzero {
-			continue
 		}
 		// W_c = dF/dZ * theta_Z * Z(1-Z) * dose.
 		dose := cs.model.c.Dose
@@ -327,15 +364,21 @@ func (o *Optimizer) gradient(st *iterState, mask *grid.Field, models []cornerMod
 			dFdZ.Data[i] *= thetaZ * zv * (1 - zv) * dose
 		}
 
-		// Per-kernel correlation gradients are independent: compute them in
-		// parallel and reduce.
-		partial := make([]*grid.Field, len(cs.model.freqs))
-		par.For(len(cs.model.freqs), func(ki int) {
-			partial[ki] = o.corrGrad(dFdZ, cs.fields[ki], cs.model.freqs[ki], cs.model.k, 2*cs.model.weights[ki])
+		// Per-kernel correlation gradients are independent: each worker
+		// chunk accumulates into its own pooled partial, merged under a
+		// mutex, so the reduction allocates nothing in steady state.
+		var mu sync.Mutex
+		par.ForChunks(len(cs.model.freqs), func(lo, hi int) {
+			part := grid.Get(mask.W, mask.H).Zero()
+			for ki := lo; ki < hi; ki++ {
+				o.corrGradAccum(part, dFdZ, cs.fields[ki], cs.model.freqs[ki], cs.model.k, 2*cs.model.weights[ki])
+			}
+			mu.Lock()
+			grad.Add(part)
+			mu.Unlock()
+			grid.Put(part)
 		})
-		for _, p := range partial {
-			grad.Add(p)
-		}
+		grid.Put(dFdZ)
 	}
 	if cfg.SmoothWeight > 0 {
 		smoothGradient(grad, mask, cfg.SmoothWeight)
@@ -343,31 +386,28 @@ func (o *Optimizer) gradient(st *iterState, mask *grid.Field, models []cornerMod
 	return grad
 }
 
-// corrGrad returns scale * Re{ conj(kf) corr (w .* a) }, the contribution
-// of one kernel to dF/dM, with the correlation evaluated through the
-// band-limited frequency block.
-func (o *Optimizer) corrGrad(w *grid.Field, a *grid.CField, kf *grid.CField, k int, scale float64) *grid.Field {
+// corrGradAccum adds scale * Re{ conj(kf) corr (w .* a) } into dst, the
+// contribution of one kernel to dF/dM. Both transform directions are
+// band-limited: the forward only computes the central block (all other
+// frequencies are annihilated by the kernel multiply) and the inverse
+// prunes the zero rows.
+func (o *Optimizer) corrGradAccum(dst, w *grid.Field, a *grid.CField, kf *grid.CField, k int, scale float64) {
 	n := w.W
-	term := grid.NewC(n, n)
+	term := grid.GetC(n, n)
 	for i, av := range a.Data {
 		term.Data[i] = av * complex(w.Data[i], 0)
 	}
-	fft.Forward2D(term)
-	out := grid.NewC(n, n)
-	for dy := -k; dy <= k; dy++ {
-		sy := (dy + n) % n
-		for dx := -k; dx <= k; dx++ {
-			sx := (dx + n) % n
-			kv := kf.At(dx+k, dy+k)
-			out.Set(sx, sy, term.At(sx, sy)*complex(real(kv), -imag(kv)))
-		}
+	blk := grid.GetC(2*k+1, 2*k+1)
+	fft.ForwardBandLimited(term, k, blk) // term becomes scratch
+	for i, kv := range kf.Data {
+		blk.Data[i] *= complex(real(kv), -imag(kv))
 	}
-	fft.Inverse2D(out)
-	g := grid.New(n, n)
-	for i, v := range out.Data {
-		g.Data[i] = scale * real(v)
+	fft.InverseBandLimited(blk, n, n, term) // reuse term as the output field
+	grid.PutC(blk)
+	for i, v := range term.Data {
+		dst.Data[i] += scale * real(v)
 	}
-	return g
+	grid.PutC(term)
 }
 
 // ipow computes x^k for small non-negative integer k.

@@ -46,6 +46,25 @@ func For(n int, fn func(i int)) {
 	ForN(runtime.GOMAXPROCS(0), n, fn)
 }
 
+// ForChunks partitions [0, n) into at most GOMAXPROCS contiguous chunks
+// and runs fn(lo, hi) once per chunk, chunks in parallel. It is the
+// worker-local variant of For: each invocation of fn owns its half-open
+// range exclusively, so per-chunk scratch (accumulators, pooled buffers)
+// can be allocated once per chunk instead of once per element. Panics
+// propagate like For.
+func ForChunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := runtime.GOMAXPROCS(0)
+	if chunks > n {
+		chunks = n
+	}
+	ForN(chunks, chunks, func(c int) {
+		fn(c*n/chunks, (c+1)*n/chunks)
+	})
+}
+
 // ForN is For with an explicit worker bound (useful in tests to force
 // concurrency regardless of GOMAXPROCS).
 func ForN(workers, n int, fn func(i int)) {

@@ -98,6 +98,35 @@ func TestForNAllTasksRunDespitePanic(t *testing.T) {
 	}
 }
 
+func TestForChunksCoversAllDisjoint(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		seen := make([]atomic.Int32, n)
+		ForChunks(n, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("n=%d: empty chunk [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForChunksPanicPropagates(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*PanicError); !ok {
+			t.Fatal("want *PanicError from a panicking chunk")
+		}
+	}()
+	ForChunks(10, func(lo, hi int) { panic("chunk boom") })
+	t.Fatal("ForChunks returned despite a panicking chunk")
+}
+
 func TestForNNegative(t *testing.T) {
 	called := false
 	ForN(4, -3, func(int) { called = true })

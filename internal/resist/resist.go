@@ -39,24 +39,42 @@ func (m Model) SigmoidDeriv(i float64) float64 {
 // Print applies the hard threshold of Eq. 3 to an aerial image scaled by
 // dose, producing a binary printed pattern.
 func (m Model) Print(i *grid.Field, dose float64) *grid.Field {
-	z := grid.NewLike(i)
+	return m.PrintInto(grid.NewLike(i), i, dose)
+}
+
+// PrintInto is Print writing into dst (fully overwritten, so dst may come
+// from the workspace pool without zeroing). Dimensions must match.
+func (m Model) PrintInto(dst, i *grid.Field, dose float64) *grid.Field {
+	if dst.W != i.W || dst.H != i.H {
+		panic("resist: dimension mismatch in PrintInto")
+	}
 	thr := m.Threshold
 	for idx, v := range i.Data {
 		if v*dose > thr {
-			z.Data[idx] = 1
+			dst.Data[idx] = 1
+		} else {
+			dst.Data[idx] = 0
 		}
 	}
-	return z
+	return dst
 }
 
 // PrintSigmoid applies the sigmoid resist of Eq. 4 to an aerial image
 // scaled by dose, producing a continuous printed pattern in (0, 1).
 func (m Model) PrintSigmoid(i *grid.Field, dose float64) *grid.Field {
-	z := grid.NewLike(i)
-	for idx, v := range i.Data {
-		z.Data[idx] = m.Sigmoid(v * dose)
+	return m.PrintSigmoidInto(grid.NewLike(i), i, dose)
+}
+
+// PrintSigmoidInto is PrintSigmoid writing into dst (fully overwritten, so
+// dst may come from the workspace pool without zeroing).
+func (m Model) PrintSigmoidInto(dst, i *grid.Field, dose float64) *grid.Field {
+	if dst.W != i.W || dst.H != i.H {
+		panic("resist: dimension mismatch in PrintSigmoidInto")
 	}
-	return z
+	for idx, v := range i.Data {
+		dst.Data[idx] = m.Sigmoid(v * dose)
+	}
+	return dst
 }
 
 // Sig is the generic logistic function 1/(1+exp(-theta*(x-x0))) used for

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"mosaic/internal/fft"
 	"mosaic/internal/grid"
@@ -84,9 +85,25 @@ func (s *Simulator) Spectrum(mask *grid.Field) *grid.CField {
 	return spec
 }
 
+// SpectrumBand returns the central band-limited block (half-width k) of
+// the mask's 2-D FFT — the only part of the spectrum the imaging system
+// can pass — computed with the pruned real-input forward transform. The
+// returned block comes from the workspace pool; release it with grid.PutC
+// when done.
+func (s *Simulator) SpectrumBand(mask *grid.Field, k int) *grid.CField {
+	if mask.W != s.Cfg.GridSize || mask.H != s.Cfg.GridSize {
+		panic(fmt.Sprintf("sim: mask %dx%d does not match grid size %d", mask.W, mask.H, s.Cfg.GridSize))
+	}
+	blk := grid.GetC(2*k+1, 2*k+1)
+	fft.ForwardBandLimitedReal(mask, k, blk)
+	return blk
+}
+
 // FieldFromSpectrum convolves the mask (given by its full spectrum) with
 // one kernel (given by its frequency response on the central block of
 // half-width K) and returns the complex optical field on the full grid.
+// This is the reference implementation; the hot paths go through
+// FieldFromSpectrumBand, which the equivalence tests pin to this one.
 func (s *Simulator) FieldFromSpectrum(spec *grid.CField, kf *grid.CField, k int) *grid.CField {
 	n := s.Cfg.GridSize
 	out := grid.NewC(n, n)
@@ -101,28 +118,50 @@ func (s *Simulator) FieldFromSpectrum(spec *grid.CField, kf *grid.CField, k int)
 	return out
 }
 
+// FieldFromSpectrumBand convolves the band-limited mask spectrum (as
+// returned by SpectrumBand) with one kernel's frequency response and
+// returns the complex optical field on the full grid, using the pruned
+// inverse transform. The returned field comes from the workspace pool;
+// release it with grid.PutC when done.
+func (s *Simulator) FieldFromSpectrumBand(specBand, kf *grid.CField, k int) *grid.CField {
+	n := s.Cfg.GridSize
+	blk := grid.GetC(2*k+1, 2*k+1)
+	for i, v := range specBand.Data {
+		blk.Data[i] = v * kf.Data[i]
+	}
+	out := grid.GetC(n, n)
+	fft.InverseBandLimited(blk, n, n, out)
+	grid.PutC(blk)
+	return out
+}
+
 // Aerial computes the aerial image with the full SOCS stack (Eq. 2):
 // I = sum_k w_k |M conv h_k|^2 at the corner's defocus. Dose is NOT applied
 // here; it scales intensity at the resist step. Kernel convolutions run in
-// parallel across available cores.
+// parallel across available cores, each worker chunk accumulating into its
+// own pooled partial image so the call allocates only the result.
 func (s *Simulator) Aerial(mask *grid.Field, c Corner) (*grid.Field, error) {
 	ks, err := s.Kernels(c.DefocusNM)
 	if err != nil {
 		return nil, err
 	}
 	defer obs.Span("sim.aerial." + c.spanLabel()).End()
-	spec := s.Spectrum(mask)
-	partial := make([]*grid.Field, len(ks.Freqs))
-	par.For(len(ks.Freqs), func(i int) {
-		field := s.FieldFromSpectrum(spec, ks.Freqs[i], ks.K)
-		img := grid.New(mask.W, mask.H)
-		field.AccumAbs2(img, ks.Weights[i])
-		partial[i] = img
-	})
+	spec := s.SpectrumBand(mask, ks.K)
 	img := grid.New(mask.W, mask.H)
-	for _, p := range partial {
-		img.Add(p)
-	}
+	var mu sync.Mutex
+	par.ForChunks(len(ks.Freqs), func(lo, hi int) {
+		part := grid.Get(mask.W, mask.H).Zero()
+		for i := lo; i < hi; i++ {
+			field := s.FieldFromSpectrumBand(spec, ks.Freqs[i], ks.K)
+			field.AccumAbs2(part, ks.Weights[i])
+			grid.PutC(field)
+		}
+		mu.Lock()
+		img.Add(part)
+		mu.Unlock()
+		grid.Put(part)
+	})
+	grid.PutC(spec)
 	return img, nil
 }
 
@@ -135,9 +174,12 @@ func (s *Simulator) AerialCombined(mask *grid.Field, c Corner) (*grid.Field, err
 		return nil, err
 	}
 	defer obs.Span("sim.aerial_combined." + c.spanLabel()).End()
-	spec := s.Spectrum(mask)
-	field := s.FieldFromSpectrum(spec, ks.Combined(), ks.K)
-	return field.Abs2(), nil
+	spec := s.SpectrumBand(mask, ks.K)
+	field := s.FieldFromSpectrumBand(spec, ks.Combined(), ks.K)
+	grid.PutC(spec)
+	img := field.Abs2()
+	grid.PutC(field)
+	return img, nil
 }
 
 // PrintHard applies the hard-threshold resist (Eq. 3) at the corner's dose.
