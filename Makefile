@@ -22,7 +22,7 @@ build:
 # bench runs the paper-table and convolution-engine benchmarks and archives
 # both a benchstat-compatible text file and a JSON rendering under results/,
 # stamped with today's date.
-BENCH_PATTERN ?= Table2|Table3|Convolve
+BENCH_PATTERN ?= Table2|Table3|Convolve|Smooth|TilePipeline
 BENCH_STAMP := $(shell date +%Y%m%d)
 
 bench:

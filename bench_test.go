@@ -11,6 +11,7 @@
 package mosaic
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -297,6 +298,64 @@ func BenchmarkMicroIteration(b *testing.B) {
 		if _, err := s.Optimize(cfg, layout); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Tile pipeline: full-layout sharded optimization ----------------------
+
+// tileBenchLayout replicates B4 into the four quadrants of a 2048 nm
+// layout: a 2x2-tile workload at the benchmark tile pitch.
+func tileBenchLayout(b *testing.B) *Layout {
+	base := benchLayout(b, "B4")
+	l := &Layout{Name: "B4x4", SizeNM: 2 * base.SizeNM}
+	offs := []Point{{X: 0, Y: 0}, {X: base.SizeNM, Y: 0}, {X: 0, Y: base.SizeNM}, {X: base.SizeNM, Y: base.SizeNM}}
+	for _, off := range offs {
+		for _, p := range base.Polys {
+			q := make(Polygon, len(p))
+			for i, v := range p {
+				q[i] = Point{X: v.X + off.X, Y: v.Y + off.Y}
+			}
+			l.Polys = append(l.Polys, q)
+		}
+	}
+	return l
+}
+
+// BenchmarkTilePipeline measures tile-scheduler scaling: the 4-tile B4x4
+// layout optimized end-to-end (decompose, per-tile ILT, stitch) with 1, 2,
+// and 4 workers. On a multi-core host ns/op should fall roughly linearly
+// with workers until tiles run out.
+func BenchmarkTilePipeline(b *testing.B) {
+	s := benchSetup(b)
+	layout := tileBenchLayout(b)
+	cfg := DefaultConfig(ModeFast)
+	cfg.MaxIter = 6
+	opts := TileOptions{TileNM: 1024}
+	// Warm the window-grid kernel cache so its one-time construction cost
+	// never lands inside a measurement loop.
+	_, ws, err := s.tilePlan(layout, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range sim.ProcessCorners(cfg.DefocusNM, cfg.DoseDelta) {
+		if _, err := ws.Kernels(c.DefocusNM); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := s.OptimizeLayout(context.Background(), cfg, layout, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Tiled || len(res.Tiles) != 4 {
+					b.Fatalf("expected a 4-tile run, got tiled=%v tiles=%d", res.Tiled, len(res.Tiles))
+				}
+			}
+		})
 	}
 }
 

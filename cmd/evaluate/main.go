@@ -25,6 +25,8 @@ func main() {
 	layoutPath := flag.String("layout", "", "layout file (alternative to -testcase)")
 	maskPath := flag.String("mask", "", "mask PGM to evaluate (required)")
 	runtime := flag.Float64("runtime", 0, "optimization runtime in seconds to fold into the score")
+	tileNM := flag.Float64("tile-nm", 0, "evaluate by tiled simulation with this core pitch in nm (for masks larger than one FFT grid)")
+	haloNM := flag.Float64("halo-nm", 0, "minimum optical halo for tiled evaluation in nm (0 = lambda/NA)")
 	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -50,15 +52,32 @@ func main() {
 	}
 
 	cfg := mosaic.DefaultOptics()
-	cfg.GridSize = mask.W
 	cfg.PixelNM = layout.SizeNM / float64(mask.W)
-	setup, err := mosaic.NewSetup(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rep, err := setup.Evaluate(mask, layout, *runtime)
-	if err != nil {
-		log.Fatal(err)
+	var rep *mosaic.Report
+	if *tileNM > 0 {
+		// Tiled evaluation: the mask grid need not be a valid FFT size;
+		// the tile planner sizes the simulation windows. Calibrate the
+		// resist on a window-scale grid.
+		cfg.GridSize = 256
+		setup, err := mosaic.NewSetup(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err = setup.EvaluateLayout(mask, layout,
+			mosaic.TileOptions{TileNM: *tileNM, HaloNM: *haloNM}, *runtime)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg.GridSize = mask.W
+		setup, err := mosaic.NewSetup(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err = setup.Evaluate(mask, layout, *runtime)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("testcase:       %s\n", layout.Name)
 	fmt.Printf("EPE violations: %d / %d samples\n", rep.EPEViolations, len(rep.EPEResults))

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,9 +34,12 @@ func main() {
 	layoutPath := flag.String("layout", "", "layout file (alternative to -testcase)")
 	mode := flag.String("mode", "fast", "MOSAIC mode: fast or exact")
 	method := flag.String("method", "", "run a baseline instead: rulebased, modelbased, plainilt")
-	gridSize := flag.Int("grid", 512, "simulation grid size (power of two)")
+	gridSize := flag.Int("grid", 512, "simulation grid size (power of two); with -tile-nm it sets the core tile resolution")
 	maxIter := flag.Int("iter", 0, "override max iterations (0 = paper default)")
 	converge := flag.Bool("converge", false, "track full metrics per iteration (slow) and write converge.csv")
+	tileNM := flag.Float64("tile-nm", 0, "shard the layout into core tiles of this pitch in nm (0 = untiled)")
+	haloNM := flag.Float64("halo-nm", 0, "minimum optical halo around each tile core in nm (0 = lambda/NA)")
+	tileWorkers := flag.Int("tile-workers", 0, "concurrent tile optimizations (0 = GOMAXPROCS)")
 	out := flag.String("out", "mosaic-out", "output directory")
 	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
@@ -52,11 +56,19 @@ func main() {
 	}
 	cfg := mosaic.DefaultOptics()
 	cfg.GridSize = *gridSize
-	cfg.PixelNM = layout.SizeNM / float64(*gridSize)
+	tiled := *tileNM > 0 && *tileNM < layout.SizeNM
+	if tiled {
+		// Sharded run: -grid sets the resolution of one core tile; the
+		// padded optimization windows are sized by the tile planner.
+		cfg.PixelNM = *tileNM / float64(*gridSize)
+	} else {
+		cfg.PixelNM = layout.SizeNM / float64(*gridSize)
+	}
 	setup, err := mosaic.NewSetup(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	topts := mosaic.TileOptions{TileNM: *tileNM, HaloNM: *haloNM, Workers: *tileWorkers}
 
 	if *method != "" {
 		runBaseline(setup, layout, *method, *out)
@@ -90,11 +102,15 @@ func main() {
 			"elapsed", time.Since(runStart).Round(time.Millisecond))
 	}
 
-	res, err := setup.Optimize(optCfg, layout)
+	topts.OnTile = func(done, total int) {
+		mosaic.Logger().Info("tile done", "done", done, "total", total,
+			"elapsed", time.Since(runStart).Round(time.Millisecond))
+	}
+	res, err := setup.OptimizeLayout(context.Background(), optCfg, layout, topts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := setup.Evaluate(res.Mask, layout, res.RuntimeSec)
+	rep, err := setup.EvaluateLayout(res.Mask, layout, topts, res.RuntimeSec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,16 +131,16 @@ func main() {
 	shots := len(mosaic.MaskRectangles(res.Mask, cfg.PixelNM))
 	must(render.SaveField(filepath.Join(*out, "printed_nominal.png"), rep.PrintedNominal))
 	must(render.SaveField(filepath.Join(*out, "pvband.png"), rep.PVBand))
-	target := layout.Rasterize(*gridSize, cfg.PixelNM)
+	target := layout.Rasterize(res.Mask.W, cfg.PixelNM)
 	must(render.SavePNG(filepath.Join(*out, "overlay.png"), render.Overlay(target, rep.PrintedNominal, rep.PVBand)))
 
-	if *converge {
+	if *converge && !res.Tiled {
 		f, err := os.Create(filepath.Join(*out, "converge.csv"))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintln(f, "iter,objective,f_target,f_pvb,grad_rms,epe,pvband_nm2,score")
-		for _, st := range res.History {
+		for _, st := range res.Tiles[0].History {
 			fmt.Fprintf(f, "%d,%g,%g,%g,%g,%d,%g,%g\n",
 				st.Iter, st.Objective, st.FTarget, st.FPvb, st.GradRMS,
 				st.EPEViolations, st.PVBandNM2, st.Score)
@@ -132,8 +148,16 @@ func main() {
 		must(f.Close())
 	}
 
+	iters := 0
+	for _, tr := range res.Tiles {
+		iters += tr.Iterations
+	}
 	fmt.Printf("%s on %s: %d iterations in %.1fs\n",
-		optCfg.Mode, layout.Name, res.Iterations, res.RuntimeSec)
+		optCfg.Mode, layout.Name, iters, res.RuntimeSec)
+	if res.Tiled {
+		fmt.Printf("tiles:          %d (%d workers, seam %.0f nm)\n",
+			len(res.Tiles), res.Workers, res.SeamNM)
+	}
 	fmt.Printf("EPE violations: %d / %d samples\n", rep.EPEViolations, len(rep.EPEResults))
 	fmt.Printf("PV band:        %.0f nm^2\n", rep.PVBandNM2)
 	fmt.Printf("shape viol.:    %d\n", rep.ShapeViolations)

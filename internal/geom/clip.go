@@ -1,0 +1,139 @@
+package geom
+
+import "math"
+
+// ClipPolygon clips a rectilinear polygon to an axis-aligned rectangle
+// (Sutherland–Hodgman against the four half-planes). Clipping a
+// rectilinear ring against axis-aligned boundaries preserves
+// rectilinearity: every edge crossing a boundary is perpendicular to it,
+// so intersection points land exactly on the boundary with no rounding.
+//
+// The result is cleaned of duplicate and collinear vertices. A concave
+// polygon whose pieces are separated by the clip window comes back as a
+// single ring whose pieces are joined by coincident opposite-direction
+// edges along the window boundary; the even-odd rasterization rule cancels
+// those bridges, so the clipped ring rasterizes to exactly the cropped
+// fill. ok is false when the polygon does not intersect the rectangle
+// (or only touches it with zero area).
+func ClipPolygon(p Polygon, r Rect) (clipped Polygon, ok bool) {
+	out := p
+	// Keep x >= r.X, x <= r.X+r.W, y >= r.Y, y <= r.Y+r.H in turn.
+	out = clipHalf(out, func(v Point) bool { return v.X >= r.X },
+		func(a, b Point) Point { return Point{r.X, a.Y + (b.Y-a.Y)*frac(r.X, a.X, b.X)} })
+	out = clipHalf(out, func(v Point) bool { return v.X <= r.X+r.W },
+		func(a, b Point) Point { return Point{r.X + r.W, a.Y + (b.Y-a.Y)*frac(r.X+r.W, a.X, b.X)} })
+	out = clipHalf(out, func(v Point) bool { return v.Y >= r.Y },
+		func(a, b Point) Point { return Point{a.X + (b.X-a.X)*frac(r.Y, a.Y, b.Y), r.Y} })
+	out = clipHalf(out, func(v Point) bool { return v.Y <= r.Y+r.H },
+		func(a, b Point) Point { return Point{a.X + (b.X-a.X)*frac(r.Y+r.H, a.Y, b.Y), r.Y + r.H} })
+	out = cleanRing(out)
+	if len(out) < 4 || out.Area() == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// frac returns the interpolation parameter of c on the segment [a, b];
+// callers only invoke it when a != b (the edge crosses the boundary).
+func frac(c, a, b float64) float64 { return (c - a) / (b - a) }
+
+// clipHalf is one Sutherland–Hodgman pass: keep the vertices on the inside
+// of one boundary, inserting the boundary crossing of every edge that
+// straddles it.
+func clipHalf(p Polygon, inside func(Point) bool, cross func(a, b Point) Point) Polygon {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(Polygon, 0, len(p)+4)
+	for i := range p {
+		a, b := p[i], p[(i+1)%len(p)]
+		ain, bin := inside(a), inside(b)
+		switch {
+		case ain && bin:
+			out = append(out, b)
+		case ain && !bin:
+			out = append(out, cross(a, b))
+		case !ain && bin:
+			out = append(out, cross(a, b), b)
+		}
+	}
+	return out
+}
+
+// cleanRing removes consecutive duplicate vertices and merges collinear
+// axis-aligned runs (including across the ring's wrap point). Duplicates
+// are removed before collinear vertices: once no duplicates remain, every
+// chain of collinear drops lies on one straight axis-aligned run, so the
+// surviving neighbors still differ in exactly one coordinate.
+func cleanRing(p Polygon) Polygon {
+	for {
+		p = dedupe(p)
+		n := len(p)
+		if n < 3 {
+			return p
+		}
+		out := make(Polygon, 0, n)
+		for i := range p {
+			prev := p[(i-1+n)%n]
+			cur := p[i]
+			next := p[(i+1)%n]
+			// Drop a vertex that lies on a straight axis-aligned run.
+			if (prev.X == cur.X && cur.X == next.X) || (prev.Y == cur.Y && cur.Y == next.Y) {
+				continue
+			}
+			out = append(out, cur)
+		}
+		if len(out) == len(p) {
+			return out
+		}
+		p = out
+	}
+}
+
+// dedupe removes consecutive duplicate vertices, comparing each candidate
+// against the last kept vertex (wrap included).
+func dedupe(p Polygon) Polygon {
+	for {
+		out := make(Polygon, 0, len(p))
+		for _, v := range p {
+			if len(out) > 0 && out[len(out)-1] == v {
+				continue
+			}
+			out = append(out, v)
+		}
+		if len(out) > 1 && out[0] == out[len(out)-1] {
+			out = out[:len(out)-1]
+		}
+		if len(out) == len(p) {
+			return out
+		}
+		p = out
+	}
+}
+
+// Window clips the layout to an axis-aligned window and translates the
+// result into window-local coordinates: the returned layout has
+// SizeNM = max(r.W, r.H) with the window's lower-left corner at the
+// origin. The window may extend beyond the layout bounds; the overhang is
+// simply empty. Feature polygons are clipped with ClipPolygon, so the
+// window layout rasterizes to exactly the corresponding crop of the full
+// layout's raster.
+func (l *Layout) Window(name string, r Rect) *Layout {
+	out := &Layout{Name: name, SizeNM: math.Max(r.W, r.H)}
+	for _, p := range l.Polys {
+		bb := p.BBox()
+		if bb.X >= r.X+r.W || bb.X+bb.W <= r.X || bb.Y >= r.Y+r.H || bb.Y+bb.H <= r.Y {
+			continue
+		}
+		c, ok := ClipPolygon(p, r)
+		if !ok {
+			continue
+		}
+		t := make(Polygon, len(c))
+		for i, v := range c {
+			t[i] = Point{v.X - r.X, v.Y - r.Y}
+		}
+		out.Polys = append(out.Polys, t)
+	}
+	return out
+}

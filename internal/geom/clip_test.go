@@ -1,0 +1,108 @@
+package geom
+
+import "testing"
+
+func TestClipPolygonBasics(t *testing.T) {
+	sq := Rect{X: 10, Y: 10, W: 20, H: 20}.Polygon()
+	// Fully inside: unchanged area.
+	if c, ok := ClipPolygon(sq, Rect{0, 0, 100, 100}); !ok || c.Area() != 400 {
+		t.Fatalf("inside clip: ok=%v area=%g", ok, c.Area())
+	}
+	// Fully outside: dropped.
+	if _, ok := ClipPolygon(sq, Rect{50, 50, 10, 10}); ok {
+		t.Fatal("outside clip should report no intersection")
+	}
+	// Touching along an edge only: zero area, dropped.
+	if _, ok := ClipPolygon(sq, Rect{30, 10, 10, 20}); ok {
+		t.Fatal("edge-touching clip should report no intersection")
+	}
+	// Straddling: exact intersection rectangle.
+	c, ok := ClipPolygon(sq, Rect{20, 15, 100, 100})
+	if !ok {
+		t.Fatal("straddling clip lost the polygon")
+	}
+	if got := c.Area(); got != 10*15 {
+		t.Fatalf("straddling clip area %g, want 150", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clipped polygon invalid: %v", err)
+	}
+}
+
+func TestClipPolygonConcave(t *testing.T) {
+	// A U-shape whose base lies below the clip window: the two prongs
+	// survive; the ring that comes back must still rasterize to the
+	// correct (disjoint) fill under the even-odd rule.
+	u := Polygon{
+		{10, 10}, {70, 10}, {70, 70}, {50, 70}, {50, 30}, {30, 30}, {30, 70}, {10, 70},
+	}
+	c, ok := ClipPolygon(u, Rect{0, 40, 100, 60})
+	if !ok {
+		t.Fatal("clip lost the prongs")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clipped polygon invalid: %v", err)
+	}
+	// Two 20x30 prongs remain above y=40; the shoelace area of the bridged
+	// ring equals the summed piece area (bridges are zero-width).
+	want := 2.0 * 20 * 30
+	if got := c.Area(); got != want {
+		t.Fatalf("clipped area %g, want %g", got, want)
+	}
+	win := (&Layout{Name: "u", SizeNM: 100, Polys: []Polygon{u}}).Window("w", Rect{0, 40, 100, 100})
+	f := win.Rasterize(100, 1)
+	if got := f.Sum(); got != want {
+		t.Fatalf("clipped prong fill %g px, want %g", got, want)
+	}
+}
+
+// TestWindowRasterMatchesCrop pins the core guarantee the tile pipeline
+// relies on: rasterizing a clipped window equals cropping the full
+// layout's raster, for windows that slice through features, including
+// windows overhanging the layout bounds.
+func TestWindowRasterMatchesCrop(t *testing.T) {
+	l := &Layout{
+		Name:   "mix",
+		SizeNM: 128,
+		Polys: []Polygon{
+			Rect{8, 8, 40, 90}.Polygon(),
+			// Concave jog crossing several window boundaries.
+			{{56, 16}, {120, 16}, {120, 48}, {96, 48}, {96, 112}, {72, 112}, {72, 48}, {56, 48}},
+			Rect{20, 104, 96, 16}.Polygon(),
+		},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const px = 1.0
+	full := l.Rasterize(128, px)
+	windows := []Rect{
+		{0, 0, 64, 64},
+		{32, 32, 64, 64},
+		{-16, -16, 64, 64}, // overhangs low edges
+		{96, 96, 64, 64},   // overhangs high edges
+		{40, 0, 64, 64},    // slices the jog vertically
+		{0, 40, 64, 64},    // slices the jog and the bottom bar horizontally
+	}
+	for _, w := range windows {
+		win := l.Window("w", w)
+		if err := win.Validate(); err != nil {
+			t.Fatalf("window %+v invalid: %v", w, err)
+		}
+		n := int(w.W / px)
+		f := win.Rasterize(n, px)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				gx := x + int(w.X/px)
+				gy := y + int(w.Y/px)
+				want := 0.0
+				if gx >= 0 && gx < full.W && gy >= 0 && gy < full.H {
+					want = full.At(gx, gy)
+				}
+				if got := f.At(x, y); got != want {
+					t.Fatalf("window %+v pixel (%d,%d): got %g want %g", w, x, y, got, want)
+				}
+			}
+		}
+	}
+}

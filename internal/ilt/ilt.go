@@ -32,6 +32,7 @@ import (
 	"mosaic/internal/grid"
 	"mosaic/internal/metrics"
 	"mosaic/internal/obs"
+	"mosaic/internal/par"
 	"mosaic/internal/sim"
 	"mosaic/internal/sraf"
 )
@@ -244,6 +245,23 @@ func (o *Optimizer) Run(layout *geom.Layout) (*Result, error) {
 	return o.runRaster(layout, target, samples)
 }
 
+// RunRaster optimizes against a pre-rasterized target and an explicit EPE
+// sample set, both on the simulator grid. It is the entry point for the
+// tile scheduler, which rasterizes each clipped window itself and assigns
+// full-layout samples to windows — resampling the clipped geometry would
+// let artificial cut edges at window borders spawn spurious EPE
+// constraints.
+func (o *Optimizer) RunRaster(layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, fmt.Errorf("ilt: invalid layout: %w", err)
+	}
+	n := o.Sim.Cfg.GridSize
+	if target == nil || target.W != n || target.H != n {
+		return nil, fmt.Errorf("ilt: target raster must match the %dx%d simulator grid", n, n)
+	}
+	return o.runRaster(layout, target, samples)
+}
+
 // Optimizer metrics: iteration count plus the per-iteration and per-run
 // span histograms fed below.
 var iterations = obs.NewCounter("ilt_iterations_total")
@@ -257,14 +275,18 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 	corners := o.corners()
 
 	// Pre-fetch per-corner gradient models: either the Eq. 21 combined
-	// kernel or the configured number of SOCS kernels.
+	// kernel or the configured number of SOCS kernels. The corner builds
+	// are independent (the kernel cache is single-flight per defocus), so
+	// cold-cache construction overlaps across corners.
 	models := make([]cornerModel, len(corners))
-	for i, c := range corners {
-		m, err := o.buildCornerModel(c)
+	errs := make([]error, len(corners))
+	par.For(len(corners), func(i int) {
+		models[i], errs[i] = o.buildCornerModel(corners[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		models[i] = m
 	}
 
 	// Alg. 1 lines 2-3: initial mask and unconstrained variables P with

@@ -114,9 +114,15 @@ func (st *iterState) release() {
 // objective of the configured mode.
 func (o *Optimizer) evalState(mask *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) *iterState {
 	// All corner models share the optics configuration, hence the same
-	// frequency block half-width.
+	// frequency block half-width. The per-corner forward passes are
+	// independent (they only read the shared mask spectrum) and each writes
+	// its own pre-sized slot, so the corners run concurrently; the serial
+	// objective summation below keeps the floating-point order — and hence
+	// the result — deterministic.
 	st := &iterState{specBand: o.Sim.SpectrumBand(mask, models[0].k)}
-	for _, m := range models {
+	st.corners = make([]cornerState, len(models))
+	par.For(len(models), func(mi int) {
+		m := models[mi]
 		label := m.c.Name
 		if label == "" {
 			label = "custom"
@@ -131,9 +137,9 @@ func (o *Optimizer) evalState(mask *grid.Field, models []cornerModel, target *gr
 			f.AccumAbs2(cs.i, m.weights[ki])
 		}
 		cs.z = o.Sim.Resist.PrintSigmoidInto(grid.Get(mask.W, mask.H), cs.i, m.c.Dose)
-		st.corners = append(st.corners, cs)
+		st.corners[mi] = cs
 		csp.End()
-	}
+	})
 
 	zNom := st.corners[0].z
 	switch o.Cfg.Mode {
@@ -155,18 +161,22 @@ func (o *Optimizer) evalState(mask *grid.Field, models []cornerModel, target *gr
 
 // smoothObjective evaluates the mask-smoothness regularizer
 // sum (M(x+1,y)-M(x,y))^2 + (M(x,y+1)-M(x,y))^2 (forward differences,
-// Neumann boundary).
+// Neumann boundary). The loops run over row slices — the horizontal pass
+// within one row, the vertical pass over adjacent row pairs — so the inner
+// loops are bounds-check-friendly slice walks with no per-pixel index
+// arithmetic.
 func smoothObjective(m *grid.Field) float64 {
 	s := 0.0
 	for y := 0; y < m.H; y++ {
 		row := m.Row(y)
-		for x := 0; x < m.W; x++ {
-			if x+1 < m.W {
-				d := row[x+1] - row[x]
-				s += d * d
-			}
-			if y+1 < m.H {
-				d := m.At(x, y+1) - row[x]
+		for x := 0; x+1 < len(row); x++ {
+			d := row[x+1] - row[x]
+			s += d * d
+		}
+		if y+1 < m.H {
+			next := m.Row(y + 1)
+			for x, v := range row {
+				d := next[x] - v
 				s += d * d
 			}
 		}
@@ -175,25 +185,35 @@ func smoothObjective(m *grid.Field) float64 {
 }
 
 // smoothGradient accumulates w * dF_smooth/dM into grad: the discrete
-// Laplacian form 2*(degree*M - sum of neighbors) with Neumann boundaries.
+// Laplacian form 2*(degree*M - sum of neighbors) with Neumann boundaries,
+// walking row slices (current, up, down) instead of At/Set per pixel.
 func smoothGradient(grad, m *grid.Field, w float64) {
+	w2 := 2 * w
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			v := m.At(x, y)
-			g := 0.0
-			if x+1 < m.W {
-				g += v - m.At(x+1, y)
+		row := m.Row(y)
+		g := grad.Row(y)
+		var up, down []float64
+		if y > 0 {
+			up = m.Row(y - 1)
+		}
+		if y+1 < m.H {
+			down = m.Row(y + 1)
+		}
+		for x, v := range row {
+			acc := 0.0
+			if x+1 < len(row) {
+				acc += v - row[x+1]
 			}
 			if x > 0 {
-				g += v - m.At(x-1, y)
+				acc += v - row[x-1]
 			}
-			if y+1 < m.H {
-				g += v - m.At(x, y+1)
+			if down != nil {
+				acc += v - down[x]
 			}
-			if y > 0 {
-				g += v - m.At(x, y-1)
+			if up != nil {
+				acc += v - up[x]
 			}
-			grad.Set(x, y, grad.At(x, y)+2*w*g)
+			g[x] += w2 * acc
 		}
 	}
 }

@@ -3,6 +3,7 @@ package ilt
 import (
 	"testing"
 
+	"mosaic/internal/grid"
 	"mosaic/internal/metrics"
 )
 
@@ -50,4 +51,26 @@ func TestSmoothWeightTradesComplexityForFidelity(t *testing.T) {
 		t.Fatalf("expected a fidelity cost: score %g (w=0) vs %g (w=32)",
 			roughScore, smoothScore)
 	}
+}
+
+// smoothSink keeps the benchmarked objective from being dead-code
+// eliminated.
+var smoothSink float64
+
+func BenchmarkSmooth(b *testing.B) {
+	m := grid.New(512, 512)
+	for i := range m.Data {
+		m.Data[i] = float64(i%7) / 7
+	}
+	g := grid.NewLike(m)
+	b.Run("objective", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			smoothSink = smoothObjective(m)
+		}
+	})
+	b.Run("gradient", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			smoothGradient(g, m, 0.5)
+		}
+	})
 }

@@ -12,6 +12,7 @@ import (
 
 	"mosaic/internal/geom"
 	"mosaic/internal/grid"
+	"mosaic/internal/resist"
 	"mosaic/internal/sim"
 )
 
@@ -202,30 +203,44 @@ type Report struct {
 	AerialNominal   *grid.Field
 }
 
+// AerialFunc produces the aerial image of a mask at one process corner.
+// Evaluation is expressed against it so the metrics stay agnostic of how
+// the image is formed — a plain simulator whose grid covers the mask, or
+// the tile pipeline's stitched full-layout simulation.
+type AerialFunc func(mask *grid.Field, c sim.Corner) (*grid.Field, error)
+
 // Evaluate runs the full-SOCS forward simulation of mask at every process
 // corner and produces the contest metrics against layout. runtimeSec is
 // the optimization wall time to be folded into the score (pass 0 to score
 // quality only).
 func Evaluate(s *sim.Simulator, mask *grid.Field, layout *geom.Layout, p Params, runtimeSec float64) (*Report, error) {
+	return EvaluateWith(s.Aerial, s.Resist, s.Cfg.PixelNM, mask, layout, p, runtimeSec)
+}
+
+// EvaluateWith is Evaluate with the forward imaging injected: aerial forms
+// the image at each corner, rm thresholds it, pixelNM scales areas and EPE
+// measurements. mask and the images aerial returns must share one grid
+// that covers layout at pixelNM resolution.
+func EvaluateWith(aerial AerialFunc, rm resist.Model, pixelNM float64, mask *grid.Field, layout *geom.Layout, p Params, runtimeSec float64) (*Report, error) {
 	corners := sim.ProcessCorners(p.DefocusNM, p.DoseDelta)
 	printed := make([]*grid.Field, len(corners))
 	var aerialNominal *grid.Field
 	for i, c := range corners {
-		aerial, err := s.Aerial(mask, c)
+		img, err := aerial(mask, c)
 		if err != nil {
 			return nil, fmt.Errorf("metrics: simulating corner %s: %w", c.Name, err)
 		}
-		printed[i] = s.PrintHard(aerial, c)
+		printed[i] = rm.Print(img, c.Dose)
 		if c.DefocusNM == 0 && c.Dose == 1 {
-			aerialNominal = aerial
+			aerialNominal = img
 		}
 	}
 	if aerialNominal == nil {
 		return nil, fmt.Errorf("metrics: corner set lacks the nominal condition")
 	}
 	samples := layout.SamplePoints(p.EPESampleNM)
-	epes := MeasureEPE(aerialNominal, 1, s.Resist.Threshold, s.Cfg.PixelNM, samples, p)
-	band, area := PVBand(printed, s.Cfg.PixelNM)
+	epes := MeasureEPE(aerialNominal, 1, rm.Threshold, pixelNM, samples, p)
+	band, area := PVBand(printed, pixelNM)
 	shape := ShapeViolations(printed[0])
 	nEPE := CountViolations(epes)
 	return &Report{

@@ -294,13 +294,22 @@ func (ks *KernelSet) Combined() *grid.CField {
 
 // kernel cache: building a kernel set costs seconds (TCC assembly plus the
 // eigensolve), and experiments reuse the same configuration many times.
+// Entries are single-flight: concurrent callers of one configuration share
+// a single build (waiters block on the entry's once), while different
+// configurations — e.g. the per-corner defocus prefetch — build in
+// parallel instead of serializing on a cache-wide lock.
 var (
-	cacheMu sync.Mutex
-	cache   = map[string]*KernelSet{}
+	cache sync.Map // cacheKey -> *cacheEntry
 
 	cacheHits   = obs.NewCounter("optics_kernel_cache_hits_total")
 	cacheMisses = obs.NewCounter("optics_kernel_cache_misses_total")
 )
+
+type cacheEntry struct {
+	once sync.Once
+	ks   *KernelSet
+	err  error
+}
 
 func cacheKey(c Config, defocus float64) string {
 	return fmt.Sprintf("%g|%g|%g|%g|%g|%d|%d|%g",
@@ -308,20 +317,27 @@ func cacheKey(c Config, defocus float64) string {
 }
 
 // Kernels returns a cached SOCS kernel set for (c, defocusNM), building it
-// on first use. It is safe for concurrent use.
+// on first use. It is safe for concurrent use; concurrent first requests
+// for the same configuration share one build.
 func Kernels(c Config, defocusNM float64) (*KernelSet, error) {
 	key := cacheKey(c, defocusNM)
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if ks, ok := cache[key]; ok {
+	v, ok := cache.Load(key)
+	if !ok {
+		v, _ = cache.LoadOrStore(key, &cacheEntry{})
+	}
+	e := v.(*cacheEntry)
+	built := false
+	e.once.Do(func() {
+		built = true
+		cacheMisses.Inc()
+		e.ks, e.err = BuildKernels(c, defocusNM)
+		if e.err != nil {
+			// Do not cache failures: let a later call retry the build.
+			cache.Delete(key)
+		}
+	})
+	if !built {
 		cacheHits.Inc()
-		return ks, nil
 	}
-	cacheMisses.Inc()
-	ks, err := BuildKernels(c, defocusNM)
-	if err != nil {
-		return nil, err
-	}
-	cache[key] = ks
-	return ks, nil
+	return e.ks, e.err
 }

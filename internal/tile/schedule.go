@@ -1,0 +1,210 @@
+package tile
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/ilt"
+	"mosaic/internal/obs"
+	"mosaic/internal/sim"
+)
+
+// Scheduler metrics: tiles optimized and the per-tile wall-time
+// distribution.
+var (
+	tileOpts    = obs.NewCounter("tile_opt_total")
+	tileSeconds = obs.NewHistogram("tile_seconds")
+)
+
+// Options tunes one Plan.Optimize run.
+type Options struct {
+	// Workers bounds the number of tiles optimized concurrently;
+	// 0 means GOMAXPROCS.
+	Workers int
+
+	// SeamNM is the width of the raised-cosine cross-fade band centered
+	// on each interior core boundary. 0 selects the default (half the
+	// effective halo); negative disables blending (hard cut at core
+	// boundaries). Values are clamped so the band fits inside the halo
+	// overlap.
+	SeamNM float64
+
+	// OnTile, when non-nil, is called after each tile finishes, under a
+	// lock (never concurrently), with the number of tiles done so far.
+	OnTile func(done, total int, t *Tile, res *ilt.Result)
+}
+
+// Result is the outcome of a tiled optimization run.
+type Result struct {
+	Mask     *grid.Field // stitched binary full-layout mask (FullPx square)
+	MaskGray *grid.Field // stitched continuous mask before binarization
+
+	Tiles      []*ilt.Result // per-tile results in plan (row-major) order
+	Workers    int           // worker bound actually used
+	SeamNM     float64       // seam band actually used (after clamping)
+	RuntimeSec float64       // wall time of the whole pipeline run
+}
+
+// resolveWorkers applies the Options default and tile-count clamp.
+func (p *Plan) resolveWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.Tiles) {
+		workers = len(p.Tiles)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Optimize runs one ilt.Optimizer per tile on a bounded worker pool and
+// stitches the results into a full-layout mask. ws must be the window
+// simulator (grid = Plan.WindowPx at Plan.PixelNM); cfg is the per-tile
+// optimizer configuration (TrackMetrics and OnIter are forced off — use
+// Options.OnTile for progress). The SOCS kernel stacks for every process
+// corner are built once before the pool starts and shared read-only by
+// all workers.
+//
+// Results are deterministic in plan order regardless of scheduling. The
+// first tile error cancels the remaining work and is returned; ctx
+// cancellation does the same with ctx.Err().
+func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, opts Options) (*Result, error) {
+	if err := p.checkWindowSim(ws); err != nil {
+		return nil, err
+	}
+	runSpan := obs.Span("tile.pipeline")
+	start := time.Now()
+
+	// Build the shared kernel stacks up front so workers never race the
+	// (serialized) construction: one build per distinct defocus.
+	for _, c := range sim.ProcessCorners(cfg.DefocusNM, cfg.DoseDelta) {
+		if _, err := ws.Kernels(c.DefocusNM); err != nil {
+			return nil, fmt.Errorf("tile: building kernels for corner %s: %w", c.Name, err)
+		}
+	}
+
+	// Per-tile configuration: diagnostics hooks off (they would interleave
+	// across workers); everything else as given.
+	tcfg := cfg
+	tcfg.TrackMetrics = false
+	tcfg.OnIter = nil
+
+	samples := p.splitSamples(p.Layout.SamplePoints(cfg.EPESampleNM))
+
+	workers := p.resolveWorkers(opts.Workers)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		results  = make([]*ilt.Result, len(p.Tiles))
+		next     atomic.Int64
+		done     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		notifyMu sync.Mutex
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(p.Tiles) || ctx.Err() != nil {
+					return
+				}
+				t := &p.Tiles[i]
+				sp := obs.Span("tile.optimize")
+				res, err := p.optimizeTile(ws, tcfg, t, samples[i])
+				if err != nil {
+					fail(fmt.Errorf("tile: optimizing tile (%d,%d): %w", t.Col, t.Row, err))
+					return
+				}
+				results[i] = res
+				tileOpts.Inc()
+				tileSeconds.Observe(sp.End().Seconds())
+				n := int(done.Add(1))
+				if opts.OnTile != nil {
+					notifyMu.Lock()
+					opts.OnTile(n, len(p.Tiles), t, res)
+					notifyMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	seamNM := opts.SeamNM
+	if seamNM == 0 {
+		seamNM = p.HaloNM / 2
+	}
+	if seamNM < 0 {
+		seamNM = 0
+	}
+	mask, gray, seamNM := p.Stitch(results, seamNM)
+	out := &Result{
+		Mask:       mask,
+		MaskGray:   gray,
+		Tiles:      results,
+		Workers:    workers,
+		SeamNM:     seamNM,
+		RuntimeSec: time.Since(start).Seconds(),
+	}
+	runSpan.End()
+	obs.Logger().Debug("tile pipeline finished",
+		"layout", p.Layout.Name, "tiles", len(p.Tiles), "workers", workers,
+		"window_px", p.WindowPx, "halo_nm", p.HaloNM, "seam_nm", seamNM,
+		"runtime_sec", out.RuntimeSec)
+	return out, nil
+}
+
+// optimizeTile runs the clip-level optimizer on one window. Windows with
+// no geometry short-circuit to an all-dark mask: nothing prints there, and
+// sparse full-chip layouts are mostly empty windows.
+func (p *Plan) optimizeTile(ws *sim.Simulator, cfg ilt.Config, t *Tile, samples []geom.Sample) (*ilt.Result, error) {
+	if len(t.Layout.Polys) == 0 {
+		z := grid.New(p.WindowPx, p.WindowPx)
+		return &ilt.Result{Mask: z, MaskGray: z.Clone()}, nil
+	}
+	opt, err := ilt.New(ws, cfg)
+	if err != nil {
+		return nil, err
+	}
+	target := t.Layout.Rasterize(p.WindowPx, p.PixelNM)
+	return opt.RunRaster(t.Layout, target, samples)
+}
+
+// checkWindowSim validates that ws simulates exactly one plan window.
+func (p *Plan) checkWindowSim(ws *sim.Simulator) error {
+	if ws == nil {
+		return fmt.Errorf("tile: nil window simulator")
+	}
+	if ws.Cfg.GridSize != p.WindowPx {
+		return fmt.Errorf("tile: window simulator grid %d does not match plan window %d px", ws.Cfg.GridSize, p.WindowPx)
+	}
+	if diff := ws.Cfg.PixelNM - p.PixelNM; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("tile: window simulator pixel %g nm does not match plan pixel %g nm", ws.Cfg.PixelNM, p.PixelNM)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package tile
+
+import (
+	"fmt"
+	"math"
+
+	"mosaic/internal/grid"
+	"mosaic/internal/ilt"
+	"mosaic/internal/metrics"
+	"mosaic/internal/par"
+	"mosaic/internal/sim"
+)
+
+// Stitch reassembles per-tile results into a full-layout mask. Halos are
+// discarded except for a raised-cosine cross-fade of the continuous masks
+// over a band of width seamNM centered on each interior core boundary:
+// complementary cosine ramps sum to one, so the blend interpolates the two
+// tiles' solutions instead of cutting hard between them, and binarization
+// cannot leave a seam artifact. seamNM is clamped so the band fits inside
+// the halo overlap and never spans a whole core; the clamped value is
+// returned. A zero band degenerates to a hard cut at core boundaries.
+func (p *Plan) Stitch(results []*ilt.Result, seamNM float64) (mask, gray *grid.Field, usedSeamNM float64) {
+	if len(results) != len(p.Tiles) {
+		panic(fmt.Sprintf("tile: stitching %d results over %d tiles", len(results), len(p.Tiles)))
+	}
+	seamPx := seamNM / p.PixelNM
+	if maxSeam := float64(min(2*p.HaloPx, p.CorePx)); seamPx > maxSeam {
+		seamPx = maxSeam
+	}
+	if seamPx < 0 {
+		seamPx = 0
+	}
+
+	// Per-axis tile weights; rows and columns share the profile (the plan
+	// is square and the core pitch is common).
+	wAxis := make([][]float64, p.Cols)
+	for c := range wAxis {
+		wAxis[c] = p.axisWeights(c, seamPx)
+	}
+
+	gray = grid.New(p.FullPx, p.FullPx)
+	for i := range p.Tiles {
+		t := &p.Tiles[i]
+		g := results[i].MaskGray
+		wx, wy := wAxis[t.Col], wAxis[t.Row]
+		for y := 0; y < p.FullPx; y++ {
+			vy := wy[y]
+			if vy == 0 {
+				continue
+			}
+			ly := y - t.WinY0
+			if ly < 0 || ly >= p.WindowPx {
+				continue
+			}
+			src := g.Row(ly)
+			dst := gray.Row(y)
+			for x := 0; x < p.FullPx; x++ {
+				vx := wx[x]
+				if vx == 0 {
+					continue
+				}
+				lx := x - t.WinX0
+				if lx < 0 || lx >= p.WindowPx {
+					continue
+				}
+				dst[x] += vx * vy * src[lx]
+			}
+		}
+	}
+	return gray.Threshold(0.5), gray, seamPx * p.PixelNM
+}
+
+// axisWeights returns tile column (or row) c's blend weight at every
+// full-grid pixel center along one axis: one inside the core, zero beyond
+// the seam bands, a raised-cosine ramp across each interior boundary.
+// Layout edges get no ramp — there is no neighbor to fade into.
+func (p *Plan) axisWeights(c int, seamPx float64) []float64 {
+	x0 := float64(c * p.CorePx)
+	x1 := float64(min(c*p.CorePx+p.CorePx, p.FullPx))
+	h := seamPx / 2
+	w := make([]float64, p.FullPx)
+	for x := range w {
+		u := float64(x) + 0.5
+		wl, wr := 1.0, 1.0
+		if c > 0 {
+			wl = rampUp(u, x0, h)
+		}
+		if c < p.Cols-1 {
+			wr = 1 - rampUp(u, x1, h)
+		}
+		w[x] = wl * wr
+	}
+	return w
+}
+
+// rampUp is the raised-cosine step centered on b with half-width h: zero
+// below b-h, one above b+h, 0.5*(1-cos(pi*t)) across the band. h = 0
+// degenerates to a hard step at b (pixel centers never sit exactly on the
+// integer boundary).
+func rampUp(u, b, h float64) float64 {
+	if h <= 0 {
+		if u >= b {
+			return 1
+		}
+		return 0
+	}
+	t := (u - (b - h)) / (2 * h)
+	switch {
+	case t <= 0:
+		return 0
+	case t >= 1:
+		return 1
+	}
+	return 0.5 * (1 - math.Cos(math.Pi*t))
+}
+
+// windowCrop extracts tile t's padded window from a full-grid field into a
+// pooled buffer (release with grid.Put). Halo overhang beyond the layout
+// reads as zero.
+func (p *Plan) windowCrop(f *grid.Field, t *Tile) *grid.Field {
+	w := grid.Get(p.WindowPx, p.WindowPx).Zero()
+	x0 := max(0, t.WinX0)
+	x1 := min(p.FullPx, t.WinX0+p.WindowPx)
+	for wy := 0; wy < p.WindowPx; wy++ {
+		gy := t.WinY0 + wy
+		if gy < 0 || gy >= p.FullPx || x0 >= x1 {
+			continue
+		}
+		copy(w.Row(wy)[x0-t.WinX0:x1-t.WinX0], f.Row(gy)[x0:x1])
+	}
+	return w
+}
+
+// Aerial computes the full-layout aerial image of a full-grid mask at one
+// process corner by tiled simulation: each padded window is imaged
+// independently with the full SOCS stack and only its core is kept. The
+// halo absorbs both the optical interaction with neighboring tiles and the
+// FFT's cyclic wrap-around, so the cores assemble into the open-boundary
+// full-layout image.
+func (p *Plan) Aerial(ws *sim.Simulator, mask *grid.Field, c sim.Corner) (*grid.Field, error) {
+	if err := p.checkWindowSim(ws); err != nil {
+		return nil, err
+	}
+	if mask.W != p.FullPx || mask.H != p.FullPx {
+		return nil, fmt.Errorf("tile: mask %dx%d does not match the %d px full grid", mask.W, mask.H, p.FullPx)
+	}
+	if _, err := ws.Kernels(c.DefocusNM); err != nil {
+		return nil, err
+	}
+	out := grid.New(p.FullPx, p.FullPx)
+	errs := make([]error, len(p.Tiles))
+	par.For(len(p.Tiles), func(i int) {
+		t := &p.Tiles[i]
+		crop := p.windowCrop(mask, t)
+		img, err := ws.Aerial(crop, c)
+		grid.Put(crop)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		// Cores partition the full grid, so concurrent writes are disjoint.
+		for gy := t.CoreY0; gy < t.CoreY1; gy++ {
+			src := img.Row(gy - t.WinY0)
+			copy(out.Row(gy)[t.CoreX0:t.CoreX1], src[t.CoreX0-t.WinX0:t.CoreX1-t.WinX0])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Evaluate produces the full-layout contest metrics for a stitched mask:
+// the standard evaluation pipeline with the aerial image formed by tiled
+// simulation, so EPE, PV band, and shape terms report on the whole stitched
+// result rather than per tile.
+func (p *Plan) Evaluate(ws *sim.Simulator, mask *grid.Field, mp metrics.Params, runtimeSec float64) (*metrics.Report, error) {
+	aerial := func(m *grid.Field, c sim.Corner) (*grid.Field, error) {
+		return p.Aerial(ws, m, c)
+	}
+	return metrics.EvaluateWith(aerial, ws.Resist, p.PixelNM, mask, p.Layout, mp, runtimeSec)
+}

@@ -18,9 +18,11 @@
 package mosaic
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"os"
 
 	"mosaic/internal/bench"
@@ -34,6 +36,7 @@ import (
 	"mosaic/internal/optics"
 	"mosaic/internal/resist"
 	"mosaic/internal/sim"
+	"mosaic/internal/tile"
 	"mosaic/internal/vectorize"
 )
 
@@ -188,6 +191,139 @@ func (s *Setup) OptimizeExact(layout *Layout) (*Result, error) {
 // runtimeSec is folded into the score; pass 0 to score quality only.
 func (s *Setup) Evaluate(mask *Field, layout *Layout, runtimeSec float64) (*Report, error) {
 	return metrics.Evaluate(s.Sim, mask, layout, s.Params, runtimeSec)
+}
+
+// TileOptions configures full-layout sharded optimization: a layout larger
+// than the simulation grid is decomposed into halo-padded core tiles that
+// are optimized concurrently and stitched into one mask (see
+// internal/tile).
+type TileOptions struct {
+	// TileNM is the core tile pitch in nm. 0 derives it from the setup:
+	// GridSize * PixelNM (one grid's worth of layout per tile).
+	TileNM float64
+	// HaloNM is the minimum optical guard band around each core. 0 uses
+	// the imaging configuration's λ/NA ambit. The padded window rounds up
+	// to a power-of-two grid, which only widens the halo.
+	HaloNM float64
+	// SeamNM is the width of the raised-cosine cross-fade applied where
+	// tile cores meet. 0 uses half the effective halo; negative forces a
+	// hard cut.
+	SeamNM float64
+	// Workers bounds concurrent tile optimizations; 0 means GOMAXPROCS.
+	Workers int
+	// OnTile, when non-nil, observes tile completions (for progress).
+	OnTile func(done, total int)
+}
+
+// LayoutResult is the outcome of OptimizeLayout: a mask covering the whole
+// layout, with the per-tile optimizer results when the run was sharded.
+type LayoutResult struct {
+	Mask     *Field // binary full-layout mask
+	MaskGray *Field // continuous mask before binarization
+
+	Tiled      bool      // whether the layout was sharded
+	Tiles      []*Result // per-tile results in row-major order; one entry for an untiled run
+	Workers    int       // worker bound actually used
+	SeamNM     float64   // cross-fade band actually used
+	RuntimeSec float64
+}
+
+// fitsGrid reports whether layout covers exactly the setup's simulation
+// grid, i.e. whether the untiled optimizer can take it directly.
+func (s *Setup) fitsGrid(layout *Layout) bool {
+	return math.Abs(float64(s.Sim.Cfg.GridSize)*s.Sim.Cfg.PixelNM-layout.SizeNM) <= 1e-9
+}
+
+// tilePlan decomposes layout per opts at the setup's pixel size and
+// returns the plan together with the window simulator (the setup's own
+// simulator when the window matches its grid, otherwise a new one sharing
+// the calibrated resist model).
+func (s *Setup) tilePlan(layout *Layout, opts TileOptions) (*tile.Plan, *Simulator, error) {
+	px := s.Sim.Cfg.PixelNM
+	coreNM := opts.TileNM
+	if coreNM <= 0 {
+		coreNM = float64(s.Sim.Cfg.GridSize) * px
+	}
+	haloNM := opts.HaloNM
+	if haloNM <= 0 {
+		haloNM = tile.DefaultHaloNM(s.Sim.Cfg)
+	}
+	plan, err := tile.NewPlan(layout, px, coreNM, haloNM)
+	if err != nil {
+		return nil, nil, err
+	}
+	wcfg := plan.WindowOptics(s.Sim.Cfg)
+	if wcfg.GridSize == s.Sim.Cfg.GridSize {
+		return plan, s.Sim, nil
+	}
+	ws, err := sim.New(wcfg, s.Sim.Resist)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, ws, nil
+}
+
+// OptimizeLayout optimizes a layout of arbitrary extent. A layout that
+// fits the setup grid (and is not explicitly sharded smaller by
+// opts.TileNM) runs through the untiled optimizer unchanged — bit-identical
+// to Optimize. Anything larger is decomposed into halo-padded tiles,
+// optimized concurrently on opts.Workers workers, and stitched into one
+// full-layout mask. ctx cancels a tiled run between tiles.
+func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, opts TileOptions) (*LayoutResult, error) {
+	if s.fitsGrid(layout) && (opts.TileNM <= 0 || opts.TileNM >= layout.SizeNM) {
+		res, err := s.Optimize(cfg, layout)
+		if err != nil {
+			return nil, err
+		}
+		return &LayoutResult{
+			Mask:       res.Mask,
+			MaskGray:   res.MaskGray,
+			Tiles:      []*Result{res},
+			Workers:    1,
+			RuntimeSec: res.RuntimeSec,
+		}, nil
+	}
+	plan, ws, err := s.tilePlan(layout, opts)
+	if err != nil {
+		return nil, err
+	}
+	var onTile func(done, total int, t *tile.Tile, r *ilt.Result)
+	if opts.OnTile != nil {
+		onTile = func(done, total int, _ *tile.Tile, _ *ilt.Result) { opts.OnTile(done, total) }
+	}
+	res, err := plan.Optimize(ctx, ws, cfg, tile.Options{
+		Workers: opts.Workers,
+		SeamNM:  opts.SeamNM,
+		OnTile:  onTile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LayoutResult{
+		Mask:       res.Mask,
+		MaskGray:   res.MaskGray,
+		Tiled:      true,
+		Tiles:      res.Tiles,
+		Workers:    res.Workers,
+		SeamNM:     res.SeamNM,
+		RuntimeSec: res.RuntimeSec,
+	}, nil
+}
+
+// EvaluateLayout scores a mask covering a layout of arbitrary extent:
+// directly on the setup simulator when the mask is on its grid, otherwise
+// by tiled full-SOCS simulation under the same decomposition OptimizeLayout
+// would use (opts.TileNM / opts.HaloNM must match for the grids to line
+// up).
+func (s *Setup) EvaluateLayout(mask *Field, layout *Layout, opts TileOptions, runtimeSec float64) (*Report, error) {
+	if s.fitsGrid(layout) && mask.W == s.Sim.Cfg.GridSize {
+		return s.Evaluate(mask, layout, runtimeSec)
+	}
+	plan, ws, err := s.tilePlan(layout, opts)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Evaluate(ws, mask, s.Params, runtimeSec)
 }
 
 // Run executes any Method (MOSAIC or a baseline) on a layout and evaluates

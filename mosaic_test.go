@@ -1,6 +1,7 @@
 package mosaic
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -67,6 +68,50 @@ func TestOptimizeAndEvaluate(t *testing.T) {
 	}
 	if rep.Score >= rep0.Score {
 		t.Fatalf("OPC did not improve the score: %g -> %g", rep0.Score, rep.Score)
+	}
+}
+
+func TestOptimizeLayoutUntiledDelegation(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := smallLayout()
+	cfg := DefaultConfig(ModeFast)
+	cfg.MaxIter = 6
+	// A layout that fits the setup grid with tiling unset must take the
+	// exact untiled code path.
+	res, err := s.OptimizeLayout(context.Background(), cfg, layout, TileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiled || len(res.Tiles) != 1 || res.Workers != 1 {
+		t.Fatalf("expected untiled delegation, got tiled=%v tiles=%d workers=%d",
+			res.Tiled, len(res.Tiles), res.Workers)
+	}
+	ref, err := s.Optimize(cfg, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mask.Data) != len(ref.Mask.Data) {
+		t.Fatalf("mask size mismatch: %d vs %d", len(res.Mask.Data), len(ref.Mask.Data))
+	}
+	for i := range res.Mask.Data {
+		if res.Mask.Data[i] != ref.Mask.Data[i] {
+			t.Fatalf("delegated mask differs from Optimize at pixel %d", i)
+		}
+	}
+	rep, err := s.EvaluateLayout(res.Mask, layout, TileOptions{}, res.RuntimeSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := s.Evaluate(ref.Mask, layout, res.RuntimeSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Score != ref2.Score || rep.EPEViolations != ref2.EPEViolations {
+		t.Fatalf("EvaluateLayout diverged from Evaluate: score %g vs %g, EPE %d vs %d",
+			rep.Score, ref2.Score, rep.EPEViolations, ref2.EPEViolations)
 	}
 }
 
