@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test build bench
+.PHONY: check fmt vet test build bench serve-smoke
 
 # check is the tier-1 verification: formatting, static analysis, and the
 # full test suite under the race detector.
@@ -18,6 +18,11 @@ test:
 
 build:
 	$(GO) build ./...
+
+# serve-smoke boots the mosaicd job service and drives one tiny job
+# through the HTTP API end to end (submit, poll, result, mask, drain).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # bench runs the paper-table and convolution-engine benchmarks and archives
 # both a benchstat-compatible text file and a JSON rendering under results/,

@@ -1,0 +1,102 @@
+// Command mosaicd serves mosaic optimization as a long-running job
+// service: submit layouts over HTTP, poll progress, fetch the optimized
+// mask and its contest metrics, cancel jobs. A SIGTERM (or SIGINT) drains
+// gracefully — in-flight jobs checkpoint into -checkpoint-dir and a
+// restarted daemon resumes them bit-identically.
+//
+// Usage:
+//
+//	mosaicd -addr :8080 -workers 2 -checkpoint-dir /var/lib/mosaicd
+//
+// API (see internal/serve):
+//
+//	POST /v1/jobs                {"benchmark":"B1","mode":"fast"} -> 202 {"id":...}
+//	GET  /v1/jobs/{id}           status with per-iteration progress
+//	GET  /v1/jobs/{id}/result    score, EPE violations, PV band
+//	GET  /v1/jobs/{id}/mask.pgm  the optimized mask image
+//	POST /v1/jobs/{id}/cancel    stop a queued or running job
+//	GET  /healthz, /metrics, /debug/pprof/...
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mosaic"
+	"mosaic/internal/cli"
+	"mosaic/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mosaicd: ")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 1, "concurrently running jobs")
+	queueLimit := flag.Int("queue", 64, "maximum queued jobs")
+	gridSize := flag.Int("grid", 512, "default simulation grid size (power of two); jobs may override")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for drain checkpoints and tile journals (empty = no fault tolerance)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight jobs to checkpoint")
+	tileRetries := flag.Int("tile-retries", 1, "extra attempts a failed tile gets in sharded jobs")
+	obsFlags := cli.AddObsFlags(flag.CommandLine)
+	flag.Parse()
+
+	obsCleanup, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsCleanup()
+
+	optics := mosaic.DefaultOptics()
+	optics.GridSize = *gridSize
+	srv, err := serve.New(serve.Config{
+		Workers:       *workers,
+		QueueLimit:    *queueLimit,
+		Optics:        optics,
+		CheckpointDir: *checkpointDir,
+		TileRetries:   *tileRetries,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("listening on %s (workers=%d grid=%d checkpoint-dir=%q)",
+		ln.Addr(), *workers, *gridSize, *checkpointDir)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("draining (timeout %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Print("drained cleanly")
+}

@@ -1,0 +1,58 @@
+package mosaic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mosaic/internal/bench"
+	"mosaic/internal/ilt"
+)
+
+// Typed errors of the public API. Callers should test with errors.Is /
+// errors.As instead of matching message strings:
+//
+//	res, err := setup.OptimizeCtx(ctx, cfg, layout)
+//	switch {
+//	case errors.Is(err, mosaic.ErrCanceled):      // ctx canceled or deadline hit
+//	case errors.Is(err, mosaic.ErrGridMismatch):  // mask/layout vs simulator grid
+//	}
+//	var ce *mosaic.ConfigError
+//	if errors.As(err, &ce) { fmt.Println("bad field:", ce.Field) }
+var (
+	// ErrCanceled reports that an optimization or evaluation stopped
+	// because its context was canceled or its deadline expired. Errors
+	// wrapping ErrCanceled also wrap the underlying context error, so
+	// errors.Is(err, context.Canceled) works too.
+	ErrCanceled = errors.New("mosaic: run canceled")
+
+	// ErrGridMismatch reports that a mask raster or layout clip does not
+	// match the simulation grid it was paired with.
+	ErrGridMismatch = errors.New("mosaic: grid mismatch")
+
+	// ErrUnknownBenchmark reports a testcase name outside the built-in
+	// B1..B10 suite.
+	ErrUnknownBenchmark = bench.ErrUnknown
+)
+
+// ConfigError reports an invalid optimizer configuration value; Field
+// names the offending Config field. Returned (wrapped) by Optimize* and
+// NewSetup; retrieve with errors.As.
+type ConfigError = ilt.ConfigError
+
+// wrapCanceled folds context cancellation into the ErrCanceled sentinel
+// while keeping the underlying context error in the chain.
+func wrapCanceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
+
+// gridMismatch builds an ErrGridMismatch-wrapping error with the details.
+func gridMismatch(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrGridMismatch, fmt.Sprintf(format, args...))
+}

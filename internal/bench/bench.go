@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -17,6 +18,10 @@ import (
 // ClipNM is the side length of every benchmark clip in nm, matching the
 // ICCAD 2013 contest clips.
 const ClipNM = 1024
+
+// ErrUnknown is returned (wrapped, with the offending name) when a
+// testcase name matches no benchmark; test with errors.Is.
+var ErrUnknown = errors.New("bench: unknown testcase")
 
 func rect(x, y, w, h float64) geom.Polygon { return geom.Rect{X: x, Y: y, W: w, H: h}.Polygon() }
 
@@ -141,7 +146,7 @@ func suffixNum(s string) int {
 func Layout(name string) (*geom.Layout, error) {
 	b, ok := builders[name]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown testcase %q (want B1..B10)", name)
+		return nil, fmt.Errorf("%w %q (want B1..B10)", ErrUnknown, name)
 	}
 	l := &geom.Layout{Name: name, SizeNM: ClipNM, Polys: b()}
 	if err := l.Validate(); err != nil {

@@ -24,6 +24,7 @@
 package ilt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -110,6 +111,32 @@ type Config struct {
 	// logs) instead of waiting for Result.History. The callback runs on
 	// the optimizer's goroutine; keep it cheap.
 	OnIter func(IterStats)
+
+	// OnSnapshot, when non-nil, receives a deep-copied checkpoint of the
+	// descent state after every completed iteration that leaves work
+	// remaining. A caller that keeps the latest snapshot can kill the run
+	// (cancel its context) and later resume bit-identically via Resume.
+	// The callback runs on the optimizer's goroutine.
+	OnSnapshot func(*Snapshot)
+
+	// Resume, when non-nil, seeds the descent loop from a checkpoint
+	// instead of the initial mask: the run continues at Snapshot.Iter and
+	// replays the remaining iterations exactly as the uninterrupted run
+	// would have. The snapshot must match the simulator grid and should
+	// come from a run with this same configuration.
+	Resume *Snapshot
+}
+
+// ConfigError reports an invalid Config value; Field names the offending
+// Config field (or comma-separated fields when a constraint couples
+// several). Retrieve it with errors.As.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "ilt: invalid config: " + e.Field + ": " + e.Reason
 }
 
 // DefaultConfig returns the paper's parameter set for the given mode.
@@ -191,23 +218,30 @@ type Optimizer struct {
 	Cfg Config
 }
 
-// New validates the configuration and returns an Optimizer.
+// New validates the configuration and returns an Optimizer. Invalid
+// configurations are reported as a *ConfigError naming the field.
 func New(s *sim.Simulator, cfg Config) (*Optimizer, error) {
 	switch {
 	case s == nil:
 		return nil, fmt.Errorf("ilt: nil simulator")
 	case cfg.Alpha < 0 || cfg.Beta < 0 || cfg.Alpha+cfg.Beta == 0:
-		return nil, fmt.Errorf("ilt: objective weights alpha=%g beta=%g must be non-negative and not both zero", cfg.Alpha, cfg.Beta)
+		return nil, &ConfigError{Field: "Alpha,Beta", Reason: fmt.Sprintf("objective weights alpha=%g beta=%g must be non-negative and not both zero", cfg.Alpha, cfg.Beta)}
 	case cfg.Gamma < 2 || int(cfg.Gamma)%2 != 0:
-		return nil, fmt.Errorf("ilt: gamma must be a positive even integer >= 2, got %g", cfg.Gamma)
-	case cfg.ThetaM <= 0 || cfg.ThetaEPE <= 0:
-		return nil, fmt.Errorf("ilt: sigmoid steepness must be positive")
-	case cfg.StepSize <= 0 || cfg.MaxIter <= 0:
-		return nil, fmt.Errorf("ilt: step size and iteration count must be positive")
+		return nil, &ConfigError{Field: "Gamma", Reason: fmt.Sprintf("must be a positive even integer >= 2, got %g", cfg.Gamma)}
+	case cfg.ThetaM <= 0:
+		return nil, &ConfigError{Field: "ThetaM", Reason: "sigmoid steepness must be positive"}
+	case cfg.ThetaEPE <= 0:
+		return nil, &ConfigError{Field: "ThetaEPE", Reason: "sigmoid steepness must be positive"}
+	case cfg.StepSize <= 0:
+		return nil, &ConfigError{Field: "StepSize", Reason: "must be positive"}
+	case cfg.MaxIter <= 0:
+		return nil, &ConfigError{Field: "MaxIter", Reason: "must be positive"}
 	case cfg.Momentum < 0 || cfg.Momentum >= 1:
-		return nil, fmt.Errorf("ilt: momentum must be in [0, 1), got %g", cfg.Momentum)
-	case cfg.EPEThresholdNM <= 0 || cfg.EPESampleNM <= 0:
-		return nil, fmt.Errorf("ilt: EPE parameters must be positive")
+		return nil, &ConfigError{Field: "Momentum", Reason: fmt.Sprintf("must be in [0, 1), got %g", cfg.Momentum)}
+	case cfg.EPEThresholdNM <= 0:
+		return nil, &ConfigError{Field: "EPEThresholdNM", Reason: "must be positive"}
+	case cfg.EPESampleNM <= 0:
+		return nil, &ConfigError{Field: "EPESampleNM", Reason: "must be positive"}
 	}
 	return &Optimizer{Sim: s, Cfg: cfg}, nil
 }
@@ -232,6 +266,14 @@ func (o *Optimizer) InitialMask(target *grid.Field) *grid.Field {
 // rasterized onto the simulator grid; EPE samples are generated at the
 // configured pitch.
 func (o *Optimizer) Run(layout *geom.Layout) (*Result, error) {
+	return o.RunCtx(context.Background(), layout)
+}
+
+// RunCtx is Run under a context: the descent loop checks ctx between
+// iterations, so cancellation (or a deadline) stops the run within one
+// iteration and returns an error wrapping ctx.Err(). Pair with
+// Config.OnSnapshot to checkpoint the state a cancelled run abandoned.
+func (o *Optimizer) RunCtx(ctx context.Context, layout *geom.Layout) (*Result, error) {
 	if err := layout.Validate(); err != nil {
 		return nil, fmt.Errorf("ilt: invalid layout: %w", err)
 	}
@@ -242,7 +284,7 @@ func (o *Optimizer) Run(layout *geom.Layout) (*Result, error) {
 	}
 	target := layout.Rasterize(n, px)
 	samples := layout.SamplePoints(o.Cfg.EPESampleNM)
-	return o.runRaster(layout, target, samples)
+	return o.runRaster(ctx, layout, target, samples)
 }
 
 // RunRaster optimizes against a pre-rasterized target and an explicit EPE
@@ -252,6 +294,12 @@ func (o *Optimizer) Run(layout *geom.Layout) (*Result, error) {
 // let artificial cut edges at window borders spawn spurious EPE
 // constraints.
 func (o *Optimizer) RunRaster(layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
+	return o.RunRasterCtx(context.Background(), layout, target, samples)
+}
+
+// RunRasterCtx is RunRaster under a context, with RunCtx's cancellation
+// semantics.
+func (o *Optimizer) RunRasterCtx(ctx context.Context, layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
 	if err := layout.Validate(); err != nil {
 		return nil, fmt.Errorf("ilt: invalid layout: %w", err)
 	}
@@ -259,7 +307,7 @@ func (o *Optimizer) RunRaster(layout *geom.Layout, target *grid.Field, samples [
 	if target == nil || target.W != n || target.H != n {
 		return nil, fmt.Errorf("ilt: target raster must match the %dx%d simulator grid", n, n)
 	}
-	return o.runRaster(layout, target, samples)
+	return o.runRaster(ctx, layout, target, samples)
 }
 
 // Optimizer metrics: iteration count plus the per-iteration and per-run
@@ -267,7 +315,7 @@ func (o *Optimizer) RunRaster(layout *geom.Layout, target *grid.Field, samples [
 var iterations = obs.NewCounter("ilt_iterations_total")
 
 // runRaster is the core loop of Alg. 1 on a rasterized target.
-func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
+func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
 	runSpan := obs.Span("ilt.run")
 	start := time.Now()
 	var diagSec float64 // TrackMetrics evaluation time, excluded from RuntimeSec
@@ -289,20 +337,50 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		}
 	}
 
-	// Alg. 1 lines 2-3: initial mask and unconstrained variables P with
-	// M = sig(theta_M * P) (Eq. 8).
-	m0 := o.InitialMask(target)
-	p := paramsFromMask(m0, cfg.ThetaM)
-	mask := maskFromParams(p, cfg.ThetaM)
-
 	best := &Result{Objective: math.Inf(1)}
 	bestSurrogate := math.Inf(1)
 	step := cfg.StepSize
 	jumps := cfg.Jumps
 	var velocity *grid.Field // heavy-ball state, allocated on first use
-
+	var p, mask *grid.Field
 	iter := 0
+
+	if snap := cfg.Resume; snap != nil {
+		// Restore the loop state exactly as the checkpoint left it; the
+		// remaining iterations then replay bit-identically.
+		if err := snap.validate(o.Sim.Cfg.GridSize); err != nil {
+			return nil, err
+		}
+		p = snap.P.Clone()
+		mask = maskFromParams(p, cfg.ThetaM)
+		step = snap.Step
+		jumps = snap.Jumps
+		if snap.Velocity != nil {
+			velocity = snap.Velocity.Clone()
+		}
+		best.Objective = snap.BestObjective
+		bestSurrogate = snap.BestSurrogate
+		if snap.BestGray != nil {
+			best.MaskGray = snap.BestGray.Clone()
+		}
+		best.History = append([]IterStats(nil), snap.History...)
+		iter = snap.Iter
+	} else {
+		// Alg. 1 lines 2-3: initial mask and unconstrained variables P with
+		// M = sig(theta_M * P) (Eq. 8).
+		m0 := o.InitialMask(target)
+		p = paramsFromMask(m0, cfg.ThetaM)
+		mask = maskFromParams(p, cfg.ThetaM)
+	}
+
 	for ; iter < cfg.MaxIter; iter++ {
+		// Honor cancellation between iterations: the forward model and
+		// gradient of one iteration are the atomic unit of work, so a
+		// cancelled run frees its goroutine within one iteration.
+		if err := ctx.Err(); err != nil {
+			runSpan.End()
+			return nil, fmt.Errorf("ilt: run canceled before iteration %d: %w", iter, err)
+		}
 		iterStart := time.Now()
 		var diagDur time.Duration
 		// endIter records the iteration's optimizer time (diagnostic
@@ -398,6 +476,12 @@ func (o *Optimizer) runRaster(layout *geom.Layout, target *grid.Field, samples [
 		step *= cfg.StepDecay
 		maskFromParamsInto(mask, p, cfg.ThetaM)
 		endIter()
+		// Checkpoint the state entering the next iteration (iter+1
+		// iterations are now complete). Runs that exit the loop above via
+		// break are finished and need no snapshot.
+		if cfg.OnSnapshot != nil && iter+1 < cfg.MaxIter {
+			cfg.OnSnapshot(snapshot(iter+1, p, velocity, step, jumps, best, bestSurrogate))
+		}
 	}
 
 	if best.MaskGray == nil {

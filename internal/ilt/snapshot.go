@@ -1,0 +1,242 @@
+package ilt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"mosaic/internal/grid"
+)
+
+// Snapshot is a checkpoint of the descent loop between two iterations: the
+// unconstrained pixel variables P (the mask is recomputed as sig(theta_M*P)
+// on resume), the step/jump schedule, the heavy-ball velocity, and the
+// best-iterate bookkeeping of Alg. 1 line 9. The optimizer is RNG-free by
+// construction, so resuming from a snapshot replays the remaining
+// iterations bit-identically to an uninterrupted run.
+//
+// Snapshots are emitted through Config.OnSnapshot after every completed
+// iteration and consumed through Config.Resume. All fields are deep copies;
+// holding one costs roughly three grids of memory.
+type Snapshot struct {
+	// Iter is the number of completed iterations; a resumed run continues
+	// at this iteration index.
+	Iter int
+
+	P        *grid.Field // unconstrained pixel variables (Eq. 8 logits)
+	Velocity *grid.Field // heavy-ball state; nil when momentum is off or unused so far
+
+	Step  float64 // current step size after decay/jumps
+	Jumps int     // jump-technique budget remaining
+
+	// Best-iterate state (Alg. 1 line 9).
+	BestObjective float64     // lowest Eq. 7 proxy score seen
+	BestSurrogate float64     // surrogate F at the best iterate (tie-break)
+	BestGray      *grid.Field // continuous mask of the best iterate; nil before the first iteration completes
+
+	History []IterStats // per-iteration records up to Iter
+}
+
+// snapshot deep-copies the loop state into a Snapshot.
+func snapshot(iter int, p, velocity *grid.Field, step float64, jumps int, best *Result, bestSurrogate float64) *Snapshot {
+	s := &Snapshot{
+		Iter:          iter,
+		P:             p.Clone(),
+		Step:          step,
+		Jumps:         jumps,
+		BestObjective: best.Objective,
+		BestSurrogate: bestSurrogate,
+		History:       append([]IterStats(nil), best.History...),
+	}
+	if velocity != nil {
+		s.Velocity = velocity.Clone()
+	}
+	if best.MaskGray != nil {
+		s.BestGray = best.MaskGray.Clone()
+	}
+	return s
+}
+
+// validate checks a resume snapshot against the simulator grid.
+func (s *Snapshot) validate(n int) error {
+	switch {
+	case s.P == nil:
+		return fmt.Errorf("ilt: resume snapshot has no P field")
+	case s.P.W != n || s.P.H != n:
+		return fmt.Errorf("ilt: resume snapshot P is %dx%d but the simulator grid is %dx%d", s.P.W, s.P.H, n, n)
+	case s.Velocity != nil && (s.Velocity.W != n || s.Velocity.H != n):
+		return fmt.Errorf("ilt: resume snapshot velocity is %dx%d but the simulator grid is %dx%d", s.Velocity.W, s.Velocity.H, n, n)
+	case s.BestGray != nil && (s.BestGray.W != n || s.BestGray.H != n):
+		return fmt.Errorf("ilt: resume snapshot best mask is %dx%d but the simulator grid is %dx%d", s.BestGray.W, s.BestGray.H, n, n)
+	case s.Iter < 0:
+		return fmt.Errorf("ilt: resume snapshot has negative iteration %d", s.Iter)
+	}
+	return nil
+}
+
+// Snapshot binary format: a fixed magic/version header, the scalar state,
+// then the length-prefixed fields, followed by a CRC32 of everything
+// before it. Floats are stored as IEEE-754 bit patterns so the round trip
+// is exact — the bit-identical resume guarantee survives serialization.
+const snapMagic = "MOSNAP01"
+
+func putF64(b *bytes.Buffer, v float64) {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], math.Float64bits(v))
+	b.Write(s[:])
+}
+
+func putI64(b *bytes.Buffer, v int64) {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], uint64(v))
+	b.Write(s[:])
+}
+
+func putField(b *bytes.Buffer, f *grid.Field) {
+	if f == nil {
+		putI64(b, -1)
+		return
+	}
+	putI64(b, int64(f.W))
+	putI64(b, int64(f.H))
+	for _, v := range f.Data {
+		putF64(b, v)
+	}
+}
+
+// MarshalBinary encodes the snapshot for storage (checkpoint files, the
+// job-service drain path).
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(snapMagic)
+	putI64(&b, int64(s.Iter))
+	putF64(&b, s.Step)
+	putI64(&b, int64(s.Jumps))
+	putF64(&b, s.BestObjective)
+	putF64(&b, s.BestSurrogate)
+	putField(&b, s.P)
+	putField(&b, s.Velocity)
+	putField(&b, s.BestGray)
+	putI64(&b, int64(len(s.History)))
+	for _, st := range s.History {
+		putI64(&b, int64(st.Iter))
+		putF64(&b, st.Objective)
+		putF64(&b, st.FTarget)
+		putF64(&b, st.FPvb)
+		putF64(&b, st.GradRMS)
+		putI64(&b, int64(st.ProxyEPE))
+		putF64(&b, st.ProxyPVBandNM2)
+		putF64(&b, st.ProxyScore)
+		putI64(&b, int64(st.EPEViolations))
+		putF64(&b, st.PVBandNM2)
+		putF64(&b, st.Score)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b.Bytes()))
+	b.Write(crc[:])
+	return b.Bytes(), nil
+}
+
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.err = fmt.Errorf("ilt: truncated snapshot at byte %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *snapReader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.err = fmt.Errorf("ilt: truncated snapshot at byte %d", r.off)
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *snapReader) field() *grid.Field {
+	w := r.i64()
+	if r.err != nil || w < 0 {
+		return nil
+	}
+	h := r.i64()
+	if r.err != nil {
+		return nil
+	}
+	if w > 1<<20 || h < 0 || h > 1<<20 || r.off+8*int(w*h) > len(r.data) {
+		r.err = fmt.Errorf("ilt: snapshot field dimensions %dx%d exceed the payload", w, h)
+		return nil
+	}
+	f := grid.New(int(w), int(h))
+	for i := range f.Data {
+		f.Data[i] = r.f64()
+	}
+	return f
+}
+
+// UnmarshalBinary decodes a snapshot written by MarshalBinary, rejecting
+// corrupt or truncated payloads via the trailing CRC.
+func (s *Snapshot) UnmarshalBinary(data []byte) error {
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("ilt: not a snapshot (bad magic)")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("ilt: snapshot CRC mismatch")
+	}
+	r := &snapReader{data: body, off: len(snapMagic)}
+	s.Iter = int(r.i64())
+	s.Step = r.f64()
+	s.Jumps = int(r.i64())
+	s.BestObjective = r.f64()
+	s.BestSurrogate = r.f64()
+	s.P = r.field()
+	s.Velocity = r.field()
+	s.BestGray = r.field()
+	n := r.i64()
+	if r.err != nil {
+		return r.err
+	}
+	if n < 0 || n > 1<<24 {
+		return fmt.Errorf("ilt: snapshot history length %d is implausible", n)
+	}
+	s.History = make([]IterStats, n)
+	for i := range s.History {
+		st := &s.History[i]
+		st.Iter = int(r.i64())
+		st.Objective = r.f64()
+		st.FTarget = r.f64()
+		st.FPvb = r.f64()
+		st.GradRMS = r.f64()
+		st.ProxyEPE = int(r.i64())
+		st.ProxyPVBandNM2 = r.f64()
+		st.ProxyScore = r.f64()
+		st.EPEViolations = int(r.i64())
+		st.PVBandNM2 = r.f64()
+		st.Score = r.f64()
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(body) {
+		return fmt.Errorf("ilt: %d trailing bytes after snapshot payload", len(body)-r.off)
+	}
+	return nil
+}

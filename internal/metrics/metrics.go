@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -217,15 +218,31 @@ func Evaluate(s *sim.Simulator, mask *grid.Field, layout *geom.Layout, p Params,
 	return EvaluateWith(s.Aerial, s.Resist, s.Cfg.PixelNM, mask, layout, p, runtimeSec)
 }
 
+// EvaluateCtx is Evaluate under a context: cancellation is honored between
+// process-corner simulations, so a canceled evaluation stops within one
+// corner's worth of work.
+func EvaluateCtx(ctx context.Context, s *sim.Simulator, mask *grid.Field, layout *geom.Layout, p Params, runtimeSec float64) (*Report, error) {
+	return EvaluateWithCtx(ctx, s.Aerial, s.Resist, s.Cfg.PixelNM, mask, layout, p, runtimeSec)
+}
+
 // EvaluateWith is Evaluate with the forward imaging injected: aerial forms
 // the image at each corner, rm thresholds it, pixelNM scales areas and EPE
 // measurements. mask and the images aerial returns must share one grid
 // that covers layout at pixelNM resolution.
 func EvaluateWith(aerial AerialFunc, rm resist.Model, pixelNM float64, mask *grid.Field, layout *geom.Layout, p Params, runtimeSec float64) (*Report, error) {
+	return EvaluateWithCtx(context.Background(), aerial, rm, pixelNM, mask, layout, p, runtimeSec)
+}
+
+// EvaluateWithCtx is EvaluateWith under a context, with EvaluateCtx's
+// cancellation semantics.
+func EvaluateWithCtx(ctx context.Context, aerial AerialFunc, rm resist.Model, pixelNM float64, mask *grid.Field, layout *geom.Layout, p Params, runtimeSec float64) (*Report, error) {
 	corners := sim.ProcessCorners(p.DefocusNM, p.DoseDelta)
 	printed := make([]*grid.Field, len(corners))
 	var aerialNominal *grid.Field
 	for i, c := range corners {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("metrics: evaluation canceled before corner %s: %w", c.Name, err)
+		}
 		img, err := aerial(mask, c)
 		if err != nil {
 			return nil, fmt.Errorf("metrics: simulating corner %s: %w", c.Name, err)

@@ -1,0 +1,222 @@
+// Package serve runs mosaic optimizations as jobs: an in-process queue
+// with bounded workers, priorities, deadlines and cancellation, exposed
+// over a small HTTP API (submit a layout, poll progress, fetch the result
+// mask and report, cancel). A server given a checkpoint directory drains
+// gracefully — in-flight jobs checkpoint (an ilt snapshot for untiled
+// runs, the tile journal for sharded runs) and a restarted server resumes
+// them bit-identically.
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mosaic"
+	"mosaic/internal/geom"
+)
+
+// JobSpec is a submitted optimization request (the POST /v1/jobs body).
+// Exactly one of Benchmark and Layout names the target.
+type JobSpec struct {
+	// Benchmark selects a built-in testcase (B1..B10).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Layout is a layout clip in the text format of mosaic.LoadLayout
+	// (CLIP/RECT/POLY statements).
+	Layout string `json:"layout,omitempty"`
+
+	// Mode is "fast" (default) or "exact".
+	Mode string `json:"mode,omitempty"`
+	// MaxIter overrides the mode's iteration budget; 0 keeps the default.
+	MaxIter int `json:"max_iter,omitempty"`
+	// Grid overrides the simulation grid size (power of two); 0 keeps the
+	// server's configured grid. The pixel size is derived so the grid
+	// covers the layout (or one tile when TileNM shards the run).
+	Grid int `json:"grid,omitempty"`
+
+	// TileNM shards the run into cores of this pitch when positive and
+	// smaller than the layout; 0 runs untiled.
+	TileNM float64 `json:"tile_nm,omitempty"`
+	// HaloNM overrides the optical guard band of a sharded run.
+	HaloNM float64 `json:"halo_nm,omitempty"`
+	// TileWorkers bounds concurrent tile optimizations inside the job;
+	// 0 means GOMAXPROCS.
+	TileWorkers int `json:"tile_workers,omitempty"`
+
+	// Priority orders the queue: higher runs first, ties in submit order.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS bounds the job's wall time once it starts running; 0
+	// means no deadline. A job that overruns fails with a deadline error.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// validate rejects malformed specs before they enter the queue.
+func (sp *JobSpec) validate() error {
+	switch {
+	case sp.Benchmark == "" && sp.Layout == "":
+		return fmt.Errorf("spec needs a benchmark or a layout")
+	case sp.Benchmark != "" && sp.Layout != "":
+		return fmt.Errorf("spec has both a benchmark and a layout; pick one")
+	case sp.Mode != "" && sp.Mode != "fast" && sp.Mode != "exact":
+		return fmt.Errorf("mode %q is not fast or exact", sp.Mode)
+	case sp.MaxIter < 0:
+		return fmt.Errorf("max_iter %d is negative", sp.MaxIter)
+	case sp.Grid < 0 || (sp.Grid > 0 && sp.Grid&(sp.Grid-1) != 0):
+		return fmt.Errorf("grid %d is not a positive power of two", sp.Grid)
+	case sp.TileNM < 0:
+		return fmt.Errorf("tile_nm %g is negative", sp.TileNM)
+	case sp.DeadlineMS < 0:
+		return fmt.Errorf("deadline_ms %d is negative", sp.DeadlineMS)
+	}
+	return nil
+}
+
+// resolveLayout materializes the spec's target clip.
+func (sp *JobSpec) resolveLayout() (*mosaic.Layout, error) {
+	if sp.Benchmark != "" {
+		return mosaic.Benchmark(sp.Benchmark)
+	}
+	l, err := geom.Parse(strings.NewReader(sp.Layout))
+	if err != nil {
+		return nil, fmt.Errorf("parsing layout: %w", err)
+	}
+	return l, nil
+}
+
+// mode returns the spec's optimizer mode.
+func (sp *JobSpec) mode() mosaic.Mode {
+	if sp.Mode == "exact" {
+		return mosaic.ModeExact
+	}
+	return mosaic.ModeFast
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateInterrupted State = "interrupted" // checkpointed by a drain; resumes on restart
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is the live position of a running job.
+type Progress struct {
+	// Iter counts completed optimizer iterations (per tile for a sharded
+	// run, where it tracks the most recent tile callback).
+	Iter int `json:"iter"`
+	// MaxIter is the configured iteration budget.
+	MaxIter int `json:"max_iter"`
+	// Objective is the latest proxy objective (Eq. 7 estimate).
+	Objective float64 `json:"objective,omitempty"`
+	// TilesDone / TilesTotal track a sharded run's tile completions.
+	TilesDone  int `json:"tiles_done,omitempty"`
+	TilesTotal int `json:"tiles_total,omitempty"`
+}
+
+// Status is the externally visible record of a job.
+type Status struct {
+	ID       string   `json:"id"`
+	State    State    `json:"state"`
+	Spec     JobSpec  `json:"spec"`
+	Progress Progress `json:"progress"`
+	// Resumed marks a job restored from a drain checkpoint.
+	Resumed bool   `json:"resumed,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// ResultSummary is the JSON body of GET /v1/jobs/{id}/result.
+type ResultSummary struct {
+	ID              string  `json:"id"`
+	Testcase        string  `json:"testcase"`
+	Score           float64 `json:"score"`
+	EPEViolations   int     `json:"epe_violations"`
+	PVBandNM2       float64 `json:"pvband_nm2"`
+	ShapeViolations int     `json:"shape_violations"`
+	RuntimeSec      float64 `json:"runtime_sec"`
+	Tiled           bool    `json:"tiled"`
+	MaskW           int     `json:"mask_w"`
+	MaskH           int     `json:"mask_h"`
+}
+
+// job is the server-side record behind a Status.
+type job struct {
+	id       string
+	seq      int64 // submission order, breaks priority ties
+	priority int
+	spec     JobSpec
+	layout   *mosaic.Layout
+
+	// mu guards everything below. Lock ordering: Server.mu before job.mu,
+	// never the reverse.
+	mu        sync.Mutex
+	state     State
+	resumed   bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	prog      Progress
+	err       error
+	result    *mosaic.LayoutResult
+	report    *mosaic.Report
+	snap      *mosaic.Snapshot // latest checkpoint while running (untiled)
+	resume    *mosaic.Snapshot // restored checkpoint to seed the next run
+	cancel    func(error)      // cancels the running context with a cause
+}
+
+// status snapshots the job for external consumption.
+func (j *job) status() *Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &Status{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Progress:    j.prog,
+		Resumed:     j.resumed,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// summary builds the result body; the caller has checked the job is done.
+func (j *job) summary() *ResultSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &ResultSummary{
+		ID:              j.id,
+		Testcase:        j.report.Testcase,
+		Score:           j.report.Score,
+		EPEViolations:   j.report.EPEViolations,
+		PVBandNM2:       j.report.PVBandNM2,
+		ShapeViolations: j.report.ShapeViolations,
+		RuntimeSec:      j.report.RuntimeSec,
+		Tiled:           j.result.Tiled,
+		MaskW:           j.result.Mask.W,
+		MaskH:           j.result.Mask.H,
+	}
+}

@@ -1,0 +1,563 @@
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mosaic"
+	"mosaic/internal/obs"
+)
+
+// Service-level errors; the HTTP layer maps them to status codes.
+var (
+	ErrNotFound  = errors.New("serve: no such job")
+	ErrNotDone   = errors.New("serve: job has no result yet")
+	ErrQueueFull = errors.New("serve: queue is full")
+	ErrDraining  = errors.New("serve: server is draining")
+	ErrFinished  = errors.New("serve: job already finished")
+
+	// errDrained is the cancel cause a drain injects into running jobs so
+	// runJob can tell a graceful shutdown from a user cancellation.
+	errDrained = errors.New("serve: drained for shutdown")
+	// errCanceledByUser is the cancel cause of POST /v1/jobs/{id}/cancel.
+	errCanceledByUser = errors.New("serve: canceled by request")
+)
+
+// Queue metrics.
+var (
+	mJobsSubmitted   = obs.NewCounter("serve_jobs_submitted_total")
+	mJobsDone        = obs.NewCounter("serve_jobs_done_total")
+	mJobsFailed      = obs.NewCounter("serve_jobs_failed_total")
+	mJobsCanceled    = obs.NewCounter("serve_jobs_canceled_total")
+	mJobsInterrupted = obs.NewCounter("serve_jobs_interrupted_total")
+	mJobsResumed     = obs.NewCounter("serve_jobs_resumed_total")
+	mQueueDepth      = obs.NewGauge("serve_queue_depth")
+	mJobsRunning     = obs.NewGauge("serve_jobs_running")
+	mJobSeconds      = obs.NewHistogram("serve_job_seconds")
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds concurrently running jobs; 0 means 1.
+	Workers int
+	// QueueLimit bounds jobs waiting to run; 0 means 64. Submissions
+	// beyond the limit fail with ErrQueueFull.
+	QueueLimit int
+	// Optics is the base imaging configuration; the zero value means
+	// mosaic.DefaultOptics(). Per-job Grid overrides the grid size, and
+	// the pixel size is re-derived per job so the grid covers the
+	// layout (or one tile of a sharded run).
+	Optics mosaic.OpticsConfig
+	// CheckpointDir, when non-empty, enables fault tolerance: sharded
+	// jobs journal completed tiles continuously, Shutdown checkpoints
+	// queued and in-flight jobs, and New resumes them.
+	CheckpointDir string
+	// TileRetries / TileRetryBackoff set the per-tile retry policy of
+	// sharded jobs (see mosaic.TileOptions).
+	TileRetries      int
+	TileRetryBackoff time.Duration
+	// Tune, when non-nil, adjusts every job's optimizer configuration
+	// after the spec has been applied (test determinism, site policy).
+	Tune func(*mosaic.Config)
+}
+
+// Server owns the job queue and its workers.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*job
+	seq      int64
+	draining bool
+	wg       sync.WaitGroup
+	running  atomic.Int64
+
+	setupMu sync.Mutex
+	setups  map[string]*setupEntry
+}
+
+type setupEntry struct {
+	once  sync.Once
+	setup *mosaic.Setup
+	err   error
+}
+
+// New builds a server, resumes any jobs checkpointed in cfg.CheckpointDir
+// by a previous drain, and starts the workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	if cfg.Optics.GridSize == 0 {
+		cfg.Optics = mosaic.DefaultOptics()
+	}
+	s := &Server{
+		cfg:    cfg,
+		jobs:   make(map[string]*job),
+		setups: make(map[string]*setupEntry),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.restore(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// newID returns a 12-hex-digit job ID.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: reading random id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates a spec and enqueues it, returning the queued status.
+func (s *Server) Submit(spec JobSpec) (*Status, error) {
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid spec: %w", err)
+	}
+	layout, err := spec.resolveLayout()
+	if err != nil {
+		return nil, fmt.Errorf("serve: invalid spec: %w", err)
+	}
+	j := &job{
+		id:        newID(),
+		priority:  spec.Priority,
+		spec:      spec,
+		layout:    layout,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	if err := s.enqueue(j); err != nil {
+		return nil, err
+	}
+	mJobsSubmitted.Inc()
+	return j.status(), nil
+}
+
+// enqueue adds a job under the queue bound.
+func (s *Server) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if s.queue.Len() >= s.cfg.QueueLimit {
+		return ErrQueueFull
+	}
+	s.seq++
+	j.seq = s.seq
+	heap.Push(&s.queue, j)
+	s.jobs[j.id] = j
+	mQueueDepth.Set(float64(s.queue.Len()))
+	s.cond.Signal()
+	return nil
+}
+
+// Status returns a job's current status.
+func (s *Server) Status(id string) (*Status, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// List returns every known job's status in submission order.
+func (s *Server) List() []*Status {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	out := make([]*Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Result returns a finished job's mask and report.
+func (s *Server) Result(id string) (*mosaic.LayoutResult, *mosaic.Report, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, nil, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
+	}
+	return j.result, j.report, nil
+}
+
+// Summary returns a finished job's result summary.
+func (s *Server) Summary(id string) (*ResultSummary, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	done := j.state == StateDone
+	st := j.state
+	j.mu.Unlock()
+	if !done {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotDone, st)
+	}
+	return j.summary(), nil
+}
+
+// Cancel stops a queued or running job. Cancelling a queued job removes
+// it from consideration immediately; a running job stops within one
+// optimizer iteration (or one tile boundary), freeing its worker.
+func (s *Server) Cancel(id string) (*Status, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.err = errCanceledByUser
+		mJobsCanceled.Inc()
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.removeCheckpoint(id)
+		return j.status(), nil
+	case j.state == StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		s.mu.Unlock()
+		cancel(errCanceledByUser)
+		return j.status(), nil
+	default:
+		st := j.state
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (state %s)", ErrFinished, st)
+	}
+}
+
+// worker pops jobs off the priority queue until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		mQueueDepth.Set(float64(s.queue.Len()))
+		// Mark the job running while still holding s.mu: Shutdown scans
+		// under the same lock, so every job is atomically either in the
+		// heap (checkpointed as queued) or running with a cancel hook.
+		j.mu.Lock()
+		if j.state != StateQueued { // canceled while queued
+			j.mu.Unlock()
+			s.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancelCause(context.Background())
+		j.state = StateRunning
+		j.started = time.Now()
+		j.cancel = cancel
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.runJob(ctx, cancel, j)
+	}
+}
+
+// jobOptics derives the imaging configuration for one job: the spec's
+// grid (or the server default) at a pixel size that makes the grid cover
+// exactly the layout, or one tile core of a sharded run.
+func (s *Server) jobOptics(j *job) (mosaic.OpticsConfig, bool) {
+	cfg := s.cfg.Optics
+	if j.spec.Grid > 0 {
+		cfg.GridSize = j.spec.Grid
+	}
+	tiled := j.spec.TileNM > 0 && j.spec.TileNM < j.layout.SizeNM
+	if tiled {
+		cfg.PixelNM = j.spec.TileNM / float64(cfg.GridSize)
+	} else {
+		cfg.PixelNM = j.layout.SizeNM / float64(cfg.GridSize)
+	}
+	return cfg, tiled
+}
+
+// setupFor returns the cached Setup for an imaging configuration,
+// building (kernels + resist calibration) at most once per configuration.
+func (s *Server) setupFor(cfg mosaic.OpticsConfig) (*mosaic.Setup, error) {
+	key := fmt.Sprintf("%d@%g/%d", cfg.GridSize, cfg.PixelNM, cfg.Kernels)
+	s.setupMu.Lock()
+	e := s.setups[key]
+	if e == nil {
+		e = &setupEntry{}
+		s.setups[key] = e
+	}
+	s.setupMu.Unlock()
+	e.once.Do(func() { e.setup, e.err = mosaic.NewSetup(cfg) })
+	return e.setup, e.err
+}
+
+// runJob executes one job to a terminal (or interrupted) state.
+func (s *Server) runJob(ctx context.Context, cancel func(error), j *job) {
+	sp := obs.Span("serve.job")
+	mJobsRunning.Set(float64(s.running.Add(1)))
+	start := time.Now()
+	defer func() {
+		mJobsRunning.Set(float64(s.running.Add(-1)))
+		mJobSeconds.Observe(time.Since(start).Seconds())
+		sp.End()
+	}()
+	defer cancel(nil)
+
+	runCtx := ctx
+	if j.spec.DeadlineMS > 0 {
+		var stop context.CancelFunc
+		runCtx, stop = context.WithTimeout(ctx, time.Duration(j.spec.DeadlineMS)*time.Millisecond)
+		defer stop()
+	}
+
+	result, report, err := s.execute(runCtx, j)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		j.report = report
+		j.prog.TilesDone = j.prog.TilesTotal
+		mJobsDone.Inc()
+		s.removeCheckpoint(j.id)
+	case errors.Is(err, mosaic.ErrCanceled) && errors.Is(context.Cause(ctx), errDrained):
+		// Graceful drain: checkpoint what we have and let a restarted
+		// server pick the job back up.
+		if s.checkpointLocked(j) {
+			j.state = StateInterrupted
+			j.err = nil
+			j.finished = time.Time{}
+			mJobsInterrupted.Inc()
+		} else {
+			j.state = StateCanceled
+			j.err = err
+			mJobsCanceled.Inc()
+		}
+	case errors.Is(err, mosaic.ErrCanceled) && errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.err = fmt.Errorf("deadline of %d ms exceeded: %w", j.spec.DeadlineMS, err)
+		mJobsFailed.Inc()
+		s.removeCheckpoint(j.id)
+	case errors.Is(err, mosaic.ErrCanceled):
+		j.state = StateCanceled
+		j.err = err
+		mJobsCanceled.Inc()
+		s.removeCheckpoint(j.id)
+	default:
+		j.state = StateFailed
+		j.err = err
+		mJobsFailed.Inc()
+		s.removeCheckpoint(j.id)
+	}
+}
+
+// execute runs the optimization and evaluation for one job.
+func (s *Server) execute(ctx context.Context, j *job) (*mosaic.LayoutResult, *mosaic.Report, error) {
+	ocfg, tiled := s.jobOptics(j)
+	setup, err := s.setupFor(ocfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("building setup: %w", err)
+	}
+
+	cfg := mosaic.DefaultConfig(j.spec.mode())
+	if j.spec.MaxIter > 0 {
+		cfg.MaxIter = j.spec.MaxIter
+	}
+	if s.cfg.Tune != nil {
+		s.cfg.Tune(&cfg)
+	}
+	tunedIter := cfg.OnIter // a Tune-installed observer keeps firing
+	cfg.OnIter = func(st mosaic.IterStats) {
+		j.mu.Lock()
+		j.prog.Iter = st.Iter + 1
+		j.prog.MaxIter = cfg.MaxIter
+		j.prog.Objective = st.ProxyScore
+		j.mu.Unlock()
+		if tunedIter != nil {
+			tunedIter(st)
+		}
+	}
+
+	topts := mosaic.TileOptions{
+		TileNM:       j.spec.TileNM,
+		HaloNM:       j.spec.HaloNM,
+		Workers:      j.spec.TileWorkers,
+		Retries:      s.cfg.TileRetries,
+		RetryBackoff: s.cfg.TileRetryBackoff,
+		OnTile: func(done, total int) {
+			j.mu.Lock()
+			j.prog.TilesDone = done
+			j.prog.TilesTotal = total
+			j.mu.Unlock()
+		},
+	}
+
+	if s.cfg.CheckpointDir != "" {
+		if tiled {
+			// Sharded runs journal continuously: a crash or drain loses at
+			// most the tiles in flight.
+			jl, err := mosaic.OpenTileJournal(filepath.Join(s.cfg.CheckpointDir, j.id+".journal"))
+			if err != nil {
+				return nil, nil, fmt.Errorf("opening tile journal: %w", err)
+			}
+			defer jl.Close()
+			topts.Journal = jl
+		} else {
+			// Untiled runs keep the latest per-iteration snapshot in memory;
+			// a drain persists it.
+			cfg.OnSnapshot = func(sn *mosaic.Snapshot) {
+				j.mu.Lock()
+				j.snap = sn
+				j.mu.Unlock()
+			}
+		}
+	}
+	j.mu.Lock()
+	cfg.Resume = j.resume
+	j.prog.MaxIter = cfg.MaxIter
+	j.mu.Unlock()
+
+	res, err := setup.OptimizeLayout(ctx, cfg, j.layout, topts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := setup.EvaluateLayoutCtx(ctx, res.Mask, j.layout, topts, res.RuntimeSec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}
+
+// Shutdown drains the server: running jobs are canceled with a drain
+// cause (and checkpoint themselves when a checkpoint directory is
+// configured), queued jobs are checkpointed as interrupted, and workers
+// exit. ctx bounds the wait for in-flight jobs to stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	var queued []*job
+	for s.queue.Len() > 0 {
+		queued = append(queued, heap.Pop(&s.queue).(*job))
+	}
+	mQueueDepth.Set(0)
+	var cancels []func(error)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+		j.mu.Unlock()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, c := range cancels {
+		c(errDrained)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", context.Cause(ctx))
+	}
+
+	var firstErr error
+	for _, j := range queued {
+		j.mu.Lock()
+		if j.state != StateQueued { // canceled while waiting
+			j.mu.Unlock()
+			continue
+		}
+		if s.checkpointLocked(j) {
+			j.state = StateInterrupted
+			mJobsInterrupted.Inc()
+		} else {
+			j.state = StateCanceled
+			j.err = errDrained
+			j.finished = time.Now()
+			mJobsCanceled.Inc()
+			if s.cfg.CheckpointDir != "" && firstErr == nil {
+				firstErr = fmt.Errorf("serve: checkpointing queued job %s failed", j.id)
+			}
+		}
+		j.mu.Unlock()
+	}
+	return firstErr
+}
+
+// jobQueue is a max-heap on (priority, -seq): higher priority first,
+// submission order within a priority.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(a, b int) bool {
+	if q[a].priority != q[b].priority {
+		return q[a].priority > q[b].priority
+	}
+	return q[a].seq < q[b].seq
+}
+func (q jobQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bytes"
+	"container/heap"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mosaic"
+)
+
+// testLayoutText is a two-bar 512 nm clip in the text layout format.
+const testLayoutText = `CLIP serve-test 512
+RECT 64 120 384 80
+RECT 64 312 384 80
+`
+
+// testServerConfig is a small, deterministic server: 64 px grid, 6 SOCS
+// kernels, single-kernel gradients so runs are bit-reproducible across
+// kill/resume regardless of GOMAXPROCS.
+func testServerConfig(dir string) Config {
+	opt := mosaic.DefaultOptics()
+	opt.GridSize = 64
+	opt.PixelNM = 8
+	opt.Kernels = 6
+	return Config{
+		Workers:       1,
+		Optics:        opt,
+		CheckpointDir: dir,
+		Tune:          func(c *mosaic.Config) { c.GradKernels = 1 },
+	}
+}
+
+// waitFor polls a job's status until cond accepts it.
+func waitFor(t *testing.T, s *Server, id string, timeout time.Duration, cond func(*Status) bool) *Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s (progress %+v, err %q)", id, st.State, st.Progress, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func shutdown(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	s, err := New(testServerConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	spec, _ := json.Marshal(JobSpec{Layout: testLayoutText, MaxIter: 4})
+	code, body := post("/v1/jobs", string(spec))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+	if st.ID == "" {
+		t.Fatal("submit response lacks a job id")
+	}
+
+	// Poll to completion; the progress counters must advance to the budget.
+	done := waitFor(t, s, st.ID, 60*time.Second, func(st *Status) bool { return st.State.terminal() })
+	if done.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+	if done.Progress.Iter != 4 || done.Progress.MaxIter != 4 {
+		t.Fatalf("progress %+v, want 4/4 iterations", done.Progress)
+	}
+
+	code, body = get("/v1/jobs/" + st.ID + "/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d, body %s", code, body)
+	}
+	var sum ResultSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Testcase != "serve-test" || sum.MaskW != 64 || sum.MaskH != 64 || sum.Score <= 0 {
+		t.Fatalf("implausible result summary: %+v", sum)
+	}
+
+	code, body = get("/v1/jobs/" + st.ID + "/mask.pgm")
+	if code != http.StatusOK || !bytes.HasPrefix(body, []byte("P5\n64 64\n")) {
+		t.Fatalf("mask.pgm: status %d, head %q", code, body[:min(len(body), 16)])
+	}
+
+	if code, body = get("/v1/jobs"); code != http.StatusOK || !bytes.Contains(body, []byte(st.ID)) {
+		t.Fatalf("list: status %d, body %s", code, body)
+	}
+	if code, _ = get("/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", code)
+	}
+	if code, _ = get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if code, body = get("/metrics"); code != http.StatusOK || !bytes.Contains(body, []byte("serve_jobs_submitted_total")) {
+		t.Fatalf("metrics: status %d, missing serve metrics", code)
+	}
+
+	// Malformed specs are rejected up front.
+	if code, _ = post("/v1/jobs", `{"benchmark":"B1","layout":"CLIP x 512"}`); code != http.StatusBadRequest {
+		t.Fatalf("ambiguous spec: status %d, want 400", code)
+	}
+	if code, _ = post("/v1/jobs", `{"benchmark":"B999"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown benchmark: status %d, want 400", code)
+	}
+	if code, _ = post("/v1/jobs", `{"layout":"CLIP x 512","grid":48}`); code != http.StatusBadRequest {
+		t.Fatalf("bad grid: status %d, want 400", code)
+	}
+}
+
+func TestCancelFreesWorker(t *testing.T) {
+	s, err := New(testServerConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A job far too long to finish on its own.
+	st, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, s, st.ID, 30*time.Second, func(st *Status) bool { return st.State == StateRunning })
+
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	got := waitFor(t, s, st.ID, 10*time.Second, func(st *Status) bool { return st.State.terminal() })
+	if got.State != StateCanceled {
+		t.Fatalf("canceled job ended %s, want canceled", got.State)
+	}
+
+	// The (single) worker must be free again: a short job completes.
+	st2, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, s, st2.ID, 30*time.Second, func(st *Status) bool { return st.State == StateDone })
+
+	// Cancelling a finished job conflicts.
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel finished job: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestDeadlineFailsJob(t *testing.T) {
+	s, err := New(testServerConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	st, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 100000, DeadlineMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitFor(t, s, st.ID, 30*time.Second, func(st *Status) bool { return st.State.terminal() })
+	if got.State != StateFailed || !strings.Contains(got.Error, "deadline") {
+		t.Fatalf("got state %s (%q), want a deadline failure", got.State, got.Error)
+	}
+}
+
+func TestQueueLimit(t *testing.T) {
+	cfg := testServerConfig("")
+	cfg.QueueLimit = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+
+	blocker, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, s, blocker.ID, 30*time.Second, func(st *Status) bool { return st.State == StateRunning })
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 1}); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 1}); err != ErrQueueFull {
+		t.Fatalf("over-limit submit: %v, want ErrQueueFull", err)
+	}
+	if _, err := s.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueOrdersByPriority(t *testing.T) {
+	var q jobQueue
+	for i, pr := range []int{0, 5, 0, 5, -1} {
+		heap.Push(&q, &job{id: fmt.Sprintf("j%d", i), priority: pr, seq: int64(i)})
+	}
+	var order []string
+	for q.Len() > 0 {
+		order = append(order, heap.Pop(&q).(*job).id)
+	}
+	want := []string{"j1", "j3", "j0", "j2", "j4"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestDrainResumeBitIdentical is the acceptance test of the serving
+// layer's fault tolerance: a drained server checkpoints its in-flight
+// job, a restarted server resumes it, and the final mask is bit-identical
+// to an uninterrupted run of the same configuration.
+func TestDrainResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testServerConfig(dir)
+	spec := JobSpec{Layout: testLayoutText, MaxIter: 6}
+
+	// Gate the optimizer at the end of its third iteration so the drain
+	// deterministically lands mid-run: the job blocks at the gate, the
+	// drain cancels its (already blocked) context, and only then does the
+	// gate open. A small job would otherwise finish before the drain.
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	baseTune := cfg.Tune
+	cfg.Tune = func(c *mosaic.Config) {
+		baseTune(c)
+		c.OnIter = func(st mosaic.IterStats) {
+			if st.Iter == 2 {
+				once.Do(func() { close(reached) })
+				<-release
+			}
+		}
+	}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reached
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s1.Shutdown(ctx)
+	}()
+	// Shutdown cancels the running job's context before waiting on it;
+	// give that in-memory step a beat, then let the optimizer continue —
+	// it observes the cancellation at the next loop top.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	got, err := s1.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateInterrupted {
+		t.Fatalf("drained job is %s, want interrupted", got.State)
+	}
+	for _, ext := range []string{".job", ".snap"} {
+		if _, err := os.Stat(filepath.Join(dir, st.ID+ext)); err != nil {
+			t.Fatalf("drain left no %s checkpoint: %v", ext, err)
+		}
+	}
+
+	// A fresh server picks the job up and finishes it.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s2)
+	fin := waitFor(t, s2, st.ID, 60*time.Second, func(st *Status) bool { return st.State.terminal() })
+	if fin.State != StateDone {
+		t.Fatalf("resumed job finished %s (%s), want done", fin.State, fin.Error)
+	}
+	if !fin.Resumed {
+		t.Fatal("resumed job does not report Resumed")
+	}
+	if fin.Progress.Iter != 6 {
+		t.Fatalf("resumed job reports %d iterations, want 6", fin.Progress.Iter)
+	}
+	res, _, err := s2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the identical configuration run uninterrupted, in this
+	// same process, through the library directly.
+	opt := cfg.Optics
+	opt.PixelNM = 512.0 / float64(opt.GridSize)
+	setup, err := mosaic.NewSetup(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := (&spec).resolveLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mosaic.DefaultConfig(mosaic.ModeFast)
+	ref.MaxIter = 6
+	cfg.Tune(&ref)
+	want, err := setup.OptimizeLayout(context.Background(), ref, layout, mosaic.TileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Mask.Data {
+		if res.Mask.Data[i] != v {
+			t.Fatalf("resumed mask differs from uninterrupted run at pixel %d", i)
+		}
+	}
+	for i, v := range want.MaskGray.Data {
+		if res.MaskGray.Data[i] != v {
+			t.Fatalf("resumed gray mask differs bitwise at pixel %d", i)
+		}
+	}
+
+	// The finished job's checkpoint files are gone.
+	for _, ext := range []string{".job", ".snap", ".journal"} {
+		if _, err := os.Stat(filepath.Join(dir, st.ID+ext)); err == nil {
+			t.Fatalf("finished job left %s checkpoint behind", ext)
+		}
+	}
+}
+
+// TestTiledJobJournals runs a sharded job end to end under a checkpoint
+// dir (exercising the journal wiring) and checks the result is tiled.
+func TestTiledJobJournals(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testServerConfig(dir)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+
+	st, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 2, Grid: 32, TileNM: 256, TileWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFor(t, s, st.ID, 120*time.Second, func(st *Status) bool { return st.State.terminal() })
+	if fin.State != StateDone {
+		t.Fatalf("tiled job finished %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.Progress.TilesDone != fin.Progress.TilesTotal || fin.Progress.TilesTotal != 4 {
+		t.Fatalf("tile progress %d/%d, want 4/4", fin.Progress.TilesDone, fin.Progress.TilesTotal)
+	}
+	sum, err := s.Summary(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Tiled || sum.MaskW != 64 {
+		t.Fatalf("summary %+v, want a tiled 64 px result", sum)
+	}
+	if _, err := os.Stat(filepath.Join(dir, st.ID+".journal")); err == nil {
+		t.Fatal("finished tiled job left its journal behind")
+	}
+}

@@ -1,0 +1,213 @@
+package tile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"mosaic/internal/grid"
+	"mosaic/internal/ilt"
+	"mosaic/internal/obs"
+)
+
+// Journal persists per-tile results as a sharded run completes them, so a
+// rerun after a crash (or a drained daemon) restarts only the unfinished
+// tiles. Implementations must be safe for concurrent Record calls from
+// the scheduler's workers.
+type Journal interface {
+	// Load returns the journaled results keyed by tile index. Records that
+	// do not match the plan's window size are ignored (a journal from a
+	// different decomposition must not poison a run).
+	Load(p *Plan) (map[int]*ilt.Result, error)
+	// Record persists tile index's result.
+	Record(index int, res *ilt.Result) error
+}
+
+// MemJournal is an in-process Journal for tests and single-process
+// retries.
+type MemJournal struct {
+	mu   sync.Mutex
+	done map[int]*ilt.Result
+}
+
+// NewMemJournal returns an empty in-memory journal.
+func NewMemJournal() *MemJournal { return &MemJournal{done: make(map[int]*ilt.Result)} }
+
+// Load returns a copy of the recorded results.
+func (j *MemJournal) Load(p *Plan) (map[int]*ilt.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[int]*ilt.Result, len(j.done))
+	for i, r := range j.done {
+		if r.MaskGray != nil && r.MaskGray.W == p.WindowPx && r.MaskGray.H == p.WindowPx {
+			out[i] = r
+		}
+	}
+	return out, nil
+}
+
+// Record stores the result.
+func (j *MemJournal) Record(index int, res *ilt.Result) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done[index] = res
+	return nil
+}
+
+// FileJournal is an append-only on-disk Journal. Each record is length-
+// framed and CRC-protected; a torn tail (the record a crashed worker was
+// mid-write on) is detected and ignored on load, so a journal survives
+// kill -9 semantics without recovery tooling.
+type FileJournal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// journalMagic heads every record frame.
+const journalMagic uint32 = 0x4d4a524e // "MJRN"
+
+// OpenFileJournal opens (creating if absent) the journal at path for
+// appending. Close releases the file handle.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tile: opening journal: %w", err)
+	}
+	return &FileJournal{path: path, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal's file path.
+func (j *FileJournal) Path() string { return j.path }
+
+// Record appends one tile result. The frame is assembled in memory and
+// written with a single Write call so concurrent appends stay whole.
+func (j *FileJournal) Record(index int, res *ilt.Result) error {
+	if res == nil || res.MaskGray == nil {
+		return fmt.Errorf("tile: journaling tile %d without a gray mask", index)
+	}
+	var payload bytes.Buffer
+	w64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		payload.Write(b[:])
+	}
+	w64(uint64(index))
+	w64(uint64(res.MaskGray.W))
+	w64(math.Float64bits(res.Objective))
+	w64(uint64(res.Iterations))
+	w64(math.Float64bits(res.RuntimeSec))
+	for _, v := range res.MaskGray.Data {
+		w64(math.Float64bits(v))
+	}
+
+	var frame bytes.Buffer
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], journalMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload.Bytes()))
+	frame.Write(hdr[:])
+	frame.Write(payload.Bytes())
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("tile: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(frame.Bytes()); err != nil {
+		return fmt.Errorf("tile: appending journal record: %w", err)
+	}
+	return nil
+}
+
+// Load scans the journal from the start and returns every intact record
+// whose window matches the plan. Scanning stops at the first torn or
+// corrupt frame — everything after it was written during or after the
+// crash being recovered from.
+func (j *FileJournal) Load(p *Plan) (map[int]*ilt.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil, fmt.Errorf("tile: journal %s is closed", j.path)
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, fmt.Errorf("tile: reading journal: %w", err)
+	}
+	out := make(map[int]*ilt.Result)
+	off := 0
+	for off+12 <= len(data) {
+		if binary.LittleEndian.Uint32(data[off:]) != journalMagic {
+			obs.Logger().Warn("tile journal: bad record magic; ignoring tail",
+				"path", j.path, "offset", off)
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off+4:]))
+		crc := binary.LittleEndian.Uint32(data[off+8:])
+		if off+12+n > len(data) {
+			obs.Logger().Warn("tile journal: torn trailing record; ignoring",
+				"path", j.path, "offset", off)
+			break
+		}
+		payload := data[off+12 : off+12+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			obs.Logger().Warn("tile journal: CRC mismatch; ignoring tail",
+				"path", j.path, "offset", off)
+			break
+		}
+		idx, res, err := decodeJournalPayload(payload)
+		if err != nil {
+			obs.Logger().Warn("tile journal: undecodable record; ignoring tail",
+				"path", j.path, "offset", off, "err", err)
+			break
+		}
+		if idx >= 0 && idx < len(p.Tiles) && res.MaskGray.W == p.WindowPx {
+			out[idx] = res
+		}
+		off += 12 + n
+	}
+	return out, nil
+}
+
+// decodeJournalPayload rebuilds one tile result from a record payload.
+// The binary mask is re-derived by thresholding the gray mask, exactly as
+// the optimizer produced it.
+func decodeJournalPayload(b []byte) (int, *ilt.Result, error) {
+	if len(b) < 40 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	r64 := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+	idx := int(int64(r64(0)))
+	w := int(int64(r64(8)))
+	if w <= 0 || w > 1<<16 || len(b) != 40+8*w*w {
+		return 0, nil, fmt.Errorf("payload length %d does not fit a %d px window", len(b), w)
+	}
+	res := &ilt.Result{
+		Objective:  math.Float64frombits(r64(16)),
+		Iterations: int(int64(r64(24))),
+		RuntimeSec: math.Float64frombits(r64(32)),
+		MaskGray:   grid.New(w, w),
+	}
+	for i := range res.MaskGray.Data {
+		res.MaskGray.Data[i] = math.Float64frombits(r64(40 + 8*i))
+	}
+	res.Mask = res.MaskGray.Threshold(0.5)
+	return idx, res, nil
+}

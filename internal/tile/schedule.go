@@ -15,11 +15,14 @@ import (
 	"mosaic/internal/sim"
 )
 
-// Scheduler metrics: tiles optimized and the per-tile wall-time
-// distribution.
+// Scheduler metrics: tiles optimized, the per-tile wall-time
+// distribution, transient-failure retries, and tiles skipped because a
+// journal already held their result.
 var (
-	tileOpts    = obs.NewCounter("tile_opt_total")
-	tileSeconds = obs.NewHistogram("tile_seconds")
+	tileOpts        = obs.NewCounter("tile_opt_total")
+	tileSeconds     = obs.NewHistogram("tile_seconds")
+	tileRetries     = obs.NewCounter("tile_retries_total")
+	tileJournalHits = obs.NewCounter("tile_journal_hits_total")
 )
 
 // Options tunes one Plan.Optimize run.
@@ -38,6 +41,27 @@ type Options struct {
 	// OnTile, when non-nil, is called after each tile finishes, under a
 	// lock (never concurrently), with the number of tiles done so far.
 	OnTile func(done, total int, t *Tile, res *ilt.Result)
+
+	// Retries is the number of additional attempts a failed tile gets
+	// before its error fails the whole run. 0 keeps the previous fail-fast
+	// behavior. Context cancellation is never retried.
+	Retries int
+
+	// RetryBackoff is the wait before the first retry, doubling on each
+	// subsequent attempt. 0 defaults to 100 ms when Retries > 0. The wait
+	// is interruptible by context cancellation.
+	RetryBackoff time.Duration
+
+	// Journal, when non-nil, records each completed tile and pre-loads
+	// tiles a previous run already finished, so a restarted run optimizes
+	// only the remainder. Journaled results are stitched exactly as
+	// freshly computed ones, preserving bit-identical output.
+	Journal Journal
+
+	// tileFault, when non-nil, is consulted before each optimization
+	// attempt of a tile; a non-nil return fails that attempt. Test hook
+	// for the retry and journal paths.
+	tileFault func(index, attempt int) error
 }
 
 // Result is the outcome of a tiled optimization run.
@@ -91,20 +115,42 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 		}
 	}
 
-	// Per-tile configuration: diagnostics hooks off (they would interleave
-	// across workers); everything else as given.
+	// Per-tile configuration: diagnostics and checkpoint hooks off (they
+	// would interleave across workers — tiled runs checkpoint through the
+	// journal instead); everything else as given.
 	tcfg := cfg
 	tcfg.TrackMetrics = false
 	tcfg.OnIter = nil
+	tcfg.OnSnapshot = nil
+	tcfg.Resume = nil
 
 	samples := p.splitSamples(p.Layout.SamplePoints(cfg.EPESampleNM))
+
+	// Resume: tiles a previous run journaled are adopted as-is; only the
+	// remainder is scheduled.
+	results := make([]*ilt.Result, len(p.Tiles))
+	resumed := 0
+	if opts.Journal != nil {
+		prior, err := opts.Journal.Load(p)
+		if err != nil {
+			return nil, fmt.Errorf("tile: loading journal: %w", err)
+		}
+		for i, res := range prior {
+			results[i] = res
+			resumed++
+			tileJournalHits.Inc()
+		}
+		if resumed > 0 {
+			obs.Logger().Info("tile journal resume",
+				"layout", p.Layout.Name, "done", resumed, "total", len(p.Tiles))
+		}
+	}
 
 	workers := p.resolveWorkers(opts.Workers)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		results  = make([]*ilt.Result, len(p.Tiles))
 		next     atomic.Int64
 		done     atomic.Int64
 		firstErr error
@@ -112,6 +158,7 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 		notifyMu sync.Mutex
 		wg       sync.WaitGroup
 	)
+	done.Store(int64(resumed))
 	fail := func(err error) {
 		errOnce.Do(func() {
 			firstErr = err
@@ -128,12 +175,21 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 				if i >= len(p.Tiles) || ctx.Err() != nil {
 					return
 				}
+				if results[i] != nil {
+					continue // adopted from the journal
+				}
 				t := &p.Tiles[i]
 				sp := obs.Span("tile.optimize")
-				res, err := p.optimizeTile(ws, tcfg, t, samples[i])
+				res, err := p.optimizeTileRetry(ctx, ws, tcfg, t, samples[i], opts)
 				if err != nil {
 					fail(fmt.Errorf("tile: optimizing tile (%d,%d): %w", t.Col, t.Row, err))
 					return
+				}
+				if opts.Journal != nil {
+					if err := opts.Journal.Record(i, res); err != nil {
+						fail(fmt.Errorf("tile: journaling tile (%d,%d): %w", t.Col, t.Row, err))
+						return
+					}
 				}
 				results[i] = res
 				tileOpts.Inc()
@@ -179,10 +235,52 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 	return out, nil
 }
 
+// optimizeTileRetry runs optimizeTile with the Options retry policy:
+// transient failures are retried with exponential backoff; cancellation
+// is returned immediately (a canceled run must not burn backoff time).
+func (p *Plan) optimizeTileRetry(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, t *Tile, samples []geom.Sample, opts Options) (*ilt.Result, error) {
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			tileRetries.Inc()
+			obs.Logger().Warn("retrying tile",
+				"tile", t.Index, "attempt", attempt, "backoff", backoff, "err", lastErr)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if opts.tileFault != nil {
+			if err := opts.tileFault(t.Index, attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		res, err := p.optimizeTileCtx(ctx, ws, cfg, t, samples)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // optimizeTile runs the clip-level optimizer on one window. Windows with
 // no geometry short-circuit to an all-dark mask: nothing prints there, and
 // sparse full-chip layouts are mostly empty windows.
-func (p *Plan) optimizeTile(ws *sim.Simulator, cfg ilt.Config, t *Tile, samples []geom.Sample) (*ilt.Result, error) {
+func (p *Plan) optimizeTileCtx(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, t *Tile, samples []geom.Sample) (*ilt.Result, error) {
 	if len(t.Layout.Polys) == 0 {
 		z := grid.New(p.WindowPx, p.WindowPx)
 		return &ilt.Result{Mask: z, MaskGray: z.Clone()}, nil
@@ -192,7 +290,7 @@ func (p *Plan) optimizeTile(ws *sim.Simulator, cfg ilt.Config, t *Tile, samples 
 		return nil, err
 	}
 	target := t.Layout.Rasterize(p.WindowPx, p.PixelNM)
-	return opt.RunRaster(t.Layout, target, samples)
+	return opt.RunRasterCtx(ctx, t.Layout, target, samples)
 }
 
 // checkWindowSim validates that ws simulates exactly one plan window.

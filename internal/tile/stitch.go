@@ -1,6 +1,7 @@
 package tile
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -177,8 +178,14 @@ func (p *Plan) Aerial(ws *sim.Simulator, mask *grid.Field, c sim.Corner) (*grid.
 // simulation, so EPE, PV band, and shape terms report on the whole stitched
 // result rather than per tile.
 func (p *Plan) Evaluate(ws *sim.Simulator, mask *grid.Field, mp metrics.Params, runtimeSec float64) (*metrics.Report, error) {
+	return p.EvaluateCtx(context.Background(), ws, mask, mp, runtimeSec)
+}
+
+// EvaluateCtx is Evaluate under a context; cancellation is honored between
+// process-corner simulations.
+func (p *Plan) EvaluateCtx(ctx context.Context, ws *sim.Simulator, mask *grid.Field, mp metrics.Params, runtimeSec float64) (*metrics.Report, error) {
 	aerial := func(m *grid.Field, c sim.Corner) (*grid.Field, error) {
 		return p.Aerial(ws, m, c)
 	}
-	return metrics.EvaluateWith(aerial, ws.Resist, p.PixelNM, mask, p.Layout, mp, runtimeSec)
+	return metrics.EvaluateWithCtx(ctx, aerial, ws.Resist, p.PixelNM, mask, p.Layout, mp, runtimeSec)
 }

@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"math"
 	"os"
+	"time"
 
 	"mosaic/internal/bench"
 	"mosaic/internal/gds"
@@ -88,7 +89,19 @@ type (
 	MRCViolation = metrics.MRCViolation
 	// SpanTimer is a running obs span; End records its duration.
 	SpanTimer = obs.SpanTimer
+	// Snapshot is an optimizer checkpoint: emitted via Config.OnSnapshot,
+	// consumed via Config.Resume for bit-identical kill/resume.
+	Snapshot = ilt.Snapshot
+	// TileJournal records completed tiles of a sharded run for
+	// crash/drain resume (see TileOptions.Journal).
+	TileJournal = tile.Journal
+	// FileTileJournal is the append-only on-disk TileJournal.
+	FileTileJournal = tile.FileJournal
 )
+
+// OpenTileJournal opens (creating if absent) an on-disk tile journal for
+// TileOptions.Journal; close it when the run finishes.
+func OpenTileJournal(path string) (*FileTileJournal, error) { return tile.OpenFileJournal(path) }
 
 // Optimization modes.
 const (
@@ -169,11 +182,27 @@ func NewSetup(cfg OpticsConfig) (*Setup, error) {
 
 // Optimize runs the ILT optimizer with an explicit configuration.
 func (s *Setup) Optimize(cfg Config, layout *Layout) (*Result, error) {
+	return s.OptimizeCtx(context.Background(), cfg, layout)
+}
+
+// OptimizeCtx is Optimize under a context: the descent loop checks ctx
+// between iterations, so cancellation (from another goroutine, a timeout,
+// a serving layer) stops the run within one iteration. A canceled run
+// returns an error wrapping both ErrCanceled and the context error.
+// Snapshot/resume checkpointing is reached through Config.OnSnapshot and
+// Config.Resume.
+func (s *Setup) OptimizeCtx(ctx context.Context, cfg Config, layout *Layout) (*Result, error) {
+	if layout != nil {
+		if got := float64(s.Sim.Cfg.GridSize) * s.Sim.Cfg.PixelNM; math.Abs(got-layout.SizeNM) > 1e-9 {
+			return nil, gridMismatch("simulation grid covers %g nm but layout clip %q is %g nm (use OptimizeLayout for oversized layouts)", got, layout.Name, layout.SizeNM)
+		}
+	}
 	o, err := ilt.New(s.Sim, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return o.Run(layout)
+	res, err := o.RunCtx(ctx, layout)
+	return res, wrapCanceled(err)
 }
 
 // OptimizeFast runs MOSAIC_fast with the paper's parameters.
@@ -190,7 +219,27 @@ func (s *Setup) OptimizeExact(layout *Layout) (*Result, error) {
 // shape violations, Eq. 22 score) for a mask against a target layout.
 // runtimeSec is folded into the score; pass 0 to score quality only.
 func (s *Setup) Evaluate(mask *Field, layout *Layout, runtimeSec float64) (*Report, error) {
-	return metrics.Evaluate(s.Sim, mask, layout, s.Params, runtimeSec)
+	return s.EvaluateCtx(context.Background(), mask, layout, runtimeSec)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation is honored between
+// process-corner simulations. The mask raster must match the setup's
+// simulation grid exactly; a mismatch returns ErrGridMismatch instead of a
+// silently mis-scored report.
+func (s *Setup) EvaluateCtx(ctx context.Context, mask *Field, layout *Layout, runtimeSec float64) (*Report, error) {
+	n := s.Sim.Cfg.GridSize
+	if mask == nil || mask.W != n || mask.H != n {
+		w, h := -1, -1
+		if mask != nil {
+			w, h = mask.W, mask.H
+		}
+		return nil, gridMismatch("mask raster is %dx%d but the simulation grid is %dx%d", w, h, n, n)
+	}
+	if got := float64(n) * s.Sim.Cfg.PixelNM; layout != nil && math.Abs(got-layout.SizeNM) > 1e-9 {
+		return nil, gridMismatch("simulation grid covers %g nm but layout clip %q is %g nm", got, layout.Name, layout.SizeNM)
+	}
+	rep, err := metrics.EvaluateCtx(ctx, s.Sim, mask, layout, s.Params, runtimeSec)
+	return rep, wrapCanceled(err)
 }
 
 // TileOptions configures full-layout sharded optimization: a layout larger
@@ -213,6 +262,16 @@ type TileOptions struct {
 	Workers int
 	// OnTile, when non-nil, observes tile completions (for progress).
 	OnTile func(done, total int)
+	// Retries is the number of extra attempts a failed tile gets before
+	// its error fails the run; 0 fails fast.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt; 0 defaults to 100 ms when Retries > 0.
+	RetryBackoff time.Duration
+	// Journal, when non-nil, records completed tiles and lets a restarted
+	// run skip tiles a previous (crashed or drained) run already
+	// finished. See OpenTileJournal.
+	Journal TileJournal
 }
 
 // LayoutResult is the outcome of OptimizeLayout: a mask covering the whole
@@ -271,7 +330,7 @@ func (s *Setup) tilePlan(layout *Layout, opts TileOptions) (*tile.Plan, *Simulat
 // full-layout mask. ctx cancels a tiled run between tiles.
 func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, opts TileOptions) (*LayoutResult, error) {
 	if s.fitsGrid(layout) && (opts.TileNM <= 0 || opts.TileNM >= layout.SizeNM) {
-		res, err := s.Optimize(cfg, layout)
+		res, err := s.OptimizeCtx(ctx, cfg, layout)
 		if err != nil {
 			return nil, err
 		}
@@ -292,12 +351,15 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		onTile = func(done, total int, _ *tile.Tile, _ *ilt.Result) { opts.OnTile(done, total) }
 	}
 	res, err := plan.Optimize(ctx, ws, cfg, tile.Options{
-		Workers: opts.Workers,
-		SeamNM:  opts.SeamNM,
-		OnTile:  onTile,
+		Workers:      opts.Workers,
+		SeamNM:       opts.SeamNM,
+		OnTile:       onTile,
+		Retries:      opts.Retries,
+		RetryBackoff: opts.RetryBackoff,
+		Journal:      opts.Journal,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	return &LayoutResult{
 		Mask:       res.Mask,
@@ -311,19 +373,37 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 }
 
 // EvaluateLayout scores a mask covering a layout of arbitrary extent:
-// directly on the setup simulator when the mask is on its grid, otherwise
+// directly on the setup simulator when the layout fits its grid, otherwise
 // by tiled full-SOCS simulation under the same decomposition OptimizeLayout
 // would use (opts.TileNM / opts.HaloNM must match for the grids to line
-// up).
+// up). The mask raster must cover the layout exactly at the setup's pixel
+// size on both axes; a mismatch returns ErrGridMismatch on either path
+// instead of a silently mis-scored report.
 func (s *Setup) EvaluateLayout(mask *Field, layout *Layout, opts TileOptions, runtimeSec float64) (*Report, error) {
-	if s.fitsGrid(layout) && mask.W == s.Sim.Cfg.GridSize {
-		return s.Evaluate(mask, layout, runtimeSec)
+	return s.EvaluateLayoutCtx(context.Background(), mask, layout, opts, runtimeSec)
+}
+
+// EvaluateLayoutCtx is EvaluateLayout under a context: cancellation is
+// honored between process-corner simulations.
+func (s *Setup) EvaluateLayoutCtx(ctx context.Context, mask *Field, layout *Layout, opts TileOptions, runtimeSec float64) (*Report, error) {
+	px := s.Sim.Cfg.PixelNM
+	fullPx := int(math.Round(layout.SizeNM / px))
+	if mask == nil || mask.W != fullPx || mask.H != fullPx {
+		w, h := -1, -1
+		if mask != nil {
+			w, h = mask.W, mask.H
+		}
+		return nil, gridMismatch("mask raster is %dx%d but layout %q needs %dx%d at %g nm/px", w, h, layout.Name, fullPx, fullPx, px)
+	}
+	if s.fitsGrid(layout) {
+		return s.EvaluateCtx(ctx, mask, layout, runtimeSec)
 	}
 	plan, ws, err := s.tilePlan(layout, opts)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Evaluate(ws, mask, s.Params, runtimeSec)
+	rep, err := plan.EvaluateCtx(ctx, ws, mask, s.Params, runtimeSec)
+	return rep, wrapCanceled(err)
 }
 
 // Run executes any Method (MOSAIC or a baseline) on a layout and evaluates
