@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test build bench serve-smoke
+.PHONY: check fmt vet test build bench serve-smoke cluster-smoke
 
 # check is the tier-1 verification: formatting, static analysis, and the
 # full test suite under the race detector.
@@ -24,15 +24,22 @@ build:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# cluster-smoke runs a sharded job on a coordinator with two worker
+# processes, SIGKILLs one worker mid-tile, and requires the stitched mask
+# to be byte-identical to a local (no-worker) run of the same job.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 # bench runs the paper-table and convolution-engine benchmarks and archives
 # both a benchstat-compatible text file and a JSON rendering under results/,
 # stamped with today's date.
 BENCH_PATTERN ?= Table2|Table3|Convolve|Smooth|TilePipeline
+BENCH_TIME ?= 1s
 BENCH_STAMP := $(shell date +%Y%m%d)
 
 bench:
 	@mkdir -p results
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem ./... \
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchtime='$(BENCH_TIME)' -benchmem ./... \
 		| tee results/BENCH_$(BENCH_STAMP).txt
 	$(GO) run ./cmd/benchjson < results/BENCH_$(BENCH_STAMP).txt \
 		> results/BENCH_$(BENCH_STAMP).json

@@ -8,13 +8,29 @@
 //
 //	mosaicd -addr :8080 -workers 2 -checkpoint-dir /var/lib/mosaicd
 //
-// API (see internal/serve):
+// A daemon doubles as a cluster coordinator: worker nodes started with
+//
+//	mosaicd -worker -join http://coordinator:8080 -addr :8081
+//
+// register themselves and the coordinator dispatches the tiles of
+// sharded jobs to them (falling back to local execution when no workers
+// are joined). Tile results are bit-identical wherever they run, so a
+// cluster run equals a local run. A SIGTERM on a worker leaves the fleet
+// and finishes in-flight HTTP exchanges; the coordinator reassigns its
+// leases.
+//
+// API (see internal/serve and internal/cluster):
 //
 //	POST /v1/jobs                {"benchmark":"B1","mode":"fast"} -> 202 {"id":...}
 //	GET  /v1/jobs/{id}           status with per-iteration progress
 //	GET  /v1/jobs/{id}/result    score, EPE violations, PV band
 //	GET  /v1/jobs/{id}/mask.pgm  the optimized mask image
 //	POST /v1/jobs/{id}/cancel    stop a queued or running job
+//	POST /v1/cluster/join        worker registration (coordinator)
+//	POST /v1/cluster/heartbeat   worker liveness (coordinator)
+//	POST /v1/cluster/leave       graceful worker exit (coordinator)
+//	GET  /v1/cluster/workers     fleet listing (coordinator)
+//	POST /v1/cluster/tile        binary tile job frame (worker)
 //	GET  /healthz, /metrics, /debug/pprof/...
 package main
 
@@ -22,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -32,6 +49,7 @@ import (
 
 	"mosaic"
 	"mosaic/internal/cli"
+	"mosaic/internal/cluster"
 	"mosaic/internal/serve"
 )
 
@@ -39,12 +57,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mosaicd: ")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
-	workers := flag.Int("workers", 1, "concurrently running jobs")
+	workers := flag.Int("workers", 1, "concurrently running jobs (or concurrent tiles in -worker mode)")
 	queueLimit := flag.Int("queue", 64, "maximum queued jobs")
 	gridSize := flag.Int("grid", 512, "default simulation grid size (power of two); jobs may override")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for drain checkpoints and tile journals (empty = no fault tolerance)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight jobs to checkpoint")
 	tileRetries := flag.Int("tile-retries", 1, "extra attempts a failed tile gets in sharded jobs")
+	workerMode := flag.Bool("worker", false, "run as a cluster worker serving tile jobs (requires -join)")
+	join := flag.String("join", "", "coordinator base URL to join in -worker mode, e.g. http://host:8080")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials for this worker (default: derived from -addr)")
+	leaseTTL := flag.Duration("lease-ttl", 5*time.Minute, "coordinator: how long one dispatched tile may run before reassignment")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", 15*time.Second, "coordinator: how long a silent worker stays in the fleet")
 	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -54,6 +77,17 @@ func main() {
 	}
 	defer obsCleanup()
 
+	if *workerMode {
+		runWorker(*addr, *join, *advertise, *workers, *drainTimeout)
+		return
+	}
+
+	coord := cluster.NewCoordinator(cluster.Config{
+		LeaseTTL:     *leaseTTL,
+		HeartbeatTTL: *heartbeatTTL,
+	})
+	defer coord.Close()
+
 	optics := mosaic.DefaultOptics()
 	optics.GridSize = *gridSize
 	srv, err := serve.New(serve.Config{
@@ -62,6 +96,7 @@ func main() {
 		Optics:        optics,
 		CheckpointDir: *checkpointDir,
 		TileRetries:   *tileRetries,
+		TileRunner:    coord,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,7 +106,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/", coord.Handler())
+	mux.Handle("/", srv.Handler())
+	hs := &http.Server{Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -98,5 +136,73 @@ func main() {
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Fatalf("drain: %v", err)
 	}
+	// Cluster drain last: a draining sharded job may still be finishing
+	// remote tiles; only once the queue is down do the leases go away.
+	coord.Close()
 	log.Print("drained cleanly")
+}
+
+// runWorker serves tile jobs and keeps the node registered with the
+// coordinator until a signal arrives.
+func runWorker(addr, join, advertise string, capacity int, drainTimeout time.Duration) {
+	if join == "" {
+		log.Fatal("-worker requires -join http://coordinator:port")
+	}
+	wk := cluster.NewWorker(cluster.WorkerConfig{Capacity: capacity})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if advertise == "" {
+		advertise = deriveAdvertise(ln.Addr())
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/", wk.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	hs := &http.Server{Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	runc := make(chan error, 1)
+	go func() { runc <- wk.Run(ctx, join, advertise) }()
+	log.Printf("worker listening on %s (advertise=%s capacity=%d coordinator=%s)",
+		ln.Addr(), advertise, capacity, join)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("worker draining (timeout %s)", drainTimeout)
+	<-runc // Run leaves the fleet on ctx cancel
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("worker drained")
+}
+
+// deriveAdvertise turns the bound listener address into a dialable base
+// URL, substituting loopback for a wildcard host.
+func deriveAdvertise(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	ip := net.ParseIP(host)
+	if host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, port))
 }

@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/ilt"
+	"mosaic/internal/optics"
+	"mosaic/internal/resist"
+	"mosaic/internal/tile"
+)
+
+// Wire format. Every message is one frame:
+//
+//	[4] magic   (uint32 LE; distinguishes job from result frames)
+//	[4] length  (uint32 LE; payload bytes)
+//	[4] crc32   (IEEE, over the payload)
+//	[n] payload
+//
+// Payload scalars are 8-byte little-endian values; floats are IEEE-754
+// bit patterns so the round trip is exact (the bit-identity guarantee
+// survives the wire, exactly as in the MOSNAP01 snapshot codec). Strings
+// and sequences are length-prefixed. A tile-job payload is a
+// self-contained work order: tile index, window grid, the full imaging
+// and optimizer configuration, the calibrated resist model, the window's
+// clipped geometry, and its EPE samples. A tile-result payload mirrors
+// the tile journal's record: the scalars plus the continuous mask (the
+// binary mask is re-derived by thresholding, exactly as the journal
+// does).
+const (
+	magicTileJob    uint32 = 0x424a544d // "MTJB"
+	magicTileResult uint32 = 0x5352544d // "MTRS"
+
+	// maxFramePayload bounds a frame before any allocation: a corrupt or
+	// hostile length field must not OOM the receiver. 1 GiB holds a
+	// 11585^2 float64 window, far beyond any plan's power-of-two cap.
+	maxFramePayload = 1 << 30
+)
+
+// writeFrame emits one framed payload, returning the bytes written.
+func writeFrame(w io.Writer, magic uint32, payload []byte) (int, error) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(payload)
+	return len(hdr) + n, err
+}
+
+// readFrame reads one frame, checks its magic and CRC, and returns the
+// payload and the total bytes consumed.
+func readFrame(r io.Reader, wantMagic uint32) ([]byte, int, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("cluster: reading frame header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != wantMagic {
+		return nil, 0, fmt.Errorf("cluster: frame magic %#x, want %#x", got, wantMagic)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxFramePayload {
+		return nil, 0, fmt.Errorf("cluster: frame payload %d exceeds the %d byte cap", n, maxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("cluster: reading frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:]) {
+		return nil, 0, fmt.Errorf("cluster: frame CRC mismatch")
+	}
+	return payload, len(hdr) + int(n), nil
+}
+
+// wireWriter accumulates a payload.
+type wireWriter struct{ b bytes.Buffer }
+
+func (w *wireWriter) i64(v int64) {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], uint64(v))
+	w.b.Write(s[:])
+}
+
+func (w *wireWriter) f64(v float64) {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], math.Float64bits(v))
+	w.b.Write(s[:])
+}
+
+func (w *wireWriter) boolean(v bool) {
+	if v {
+		w.i64(1)
+	} else {
+		w.i64(0)
+	}
+}
+
+func (w *wireWriter) str(s string) {
+	w.i64(int64(len(s)))
+	w.b.WriteString(s)
+}
+
+// wireReader consumes a payload, latching the first error.
+type wireReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("cluster: "+format, args...)
+	}
+}
+
+func (r *wireReader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail("truncated payload at byte %d", r.off)
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) f64() float64 {
+	return math.Float64frombits(uint64(r.i64()))
+}
+
+func (r *wireReader) boolean() bool { return r.i64() != 0 }
+
+func (r *wireReader) str() string {
+	n := r.i64()
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.off+int(n) > len(r.data) {
+		r.fail("string length %d exceeds the payload", n)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count reads a sequence length and bounds it: each element occupies at
+// least per bytes, so the remaining payload caps the plausible count.
+func (r *wireReader) count(per int) int {
+	n := r.i64()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || int(n) > (len(r.data)-r.off)/per {
+		r.fail("sequence length %d exceeds the payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+// tileJob is the worker-side decoding of one tile work order.
+type tileJob struct {
+	TileIndex int
+	WindowPx  int
+	PixelNM   float64
+	Optics    optics.Config
+	Resist    resist.Model
+	Cfg       ilt.Config
+	Layout    *geom.Layout
+	Samples   []geom.Sample
+}
+
+// encodeTileJob serializes a scheduler request into a job payload. Hooks
+// (OnIter, OnSnapshot, Resume) do not cross the wire — the scheduler has
+// already forced them off for tiled runs.
+func encodeTileJob(req *tile.Request) []byte {
+	w := &wireWriter{}
+	w.i64(int64(req.Tile.Index))
+	w.i64(int64(req.Plan.WindowPx))
+	w.f64(req.Plan.PixelNM)
+
+	oc := req.Sim.Cfg
+	w.f64(oc.WavelengthNM)
+	w.f64(oc.NA)
+	w.f64(oc.SigmaIn)
+	w.f64(oc.SigmaOut)
+	w.f64(oc.PixelNM)
+	w.i64(int64(oc.GridSize))
+	w.i64(int64(oc.Kernels))
+
+	w.f64(req.Sim.Resist.Threshold)
+	w.f64(req.Sim.Resist.ThetaZ)
+
+	c := req.Cfg
+	w.i64(int64(c.Mode))
+	w.f64(c.Alpha)
+	w.f64(c.Beta)
+	w.f64(c.Gamma)
+	w.f64(c.SmoothWeight)
+	w.f64(c.ThetaM)
+	w.f64(c.ThetaEPE)
+	w.f64(c.StepSize)
+	w.f64(c.StepDecay)
+	w.f64(c.Momentum)
+	w.i64(int64(c.MaxIter))
+	w.f64(c.GradTol)
+	w.i64(int64(c.Jumps))
+	w.f64(c.JumpFactor)
+	w.boolean(c.SRAFInit)
+	w.f64(c.SRAFRules.BiasNM)
+	w.f64(c.SRAFRules.SRAFDistNM)
+	w.f64(c.SRAFRules.SRAFWidthNM)
+	w.f64(c.SRAFRules.SRAFMinLenNM)
+	w.i64(int64(c.GradKernels))
+	w.f64(c.EPEThresholdNM)
+	w.f64(c.EPESampleNM)
+	w.f64(c.DefocusNM)
+	w.f64(c.DoseDelta)
+
+	l := req.Tile.Layout
+	w.str(l.Name)
+	w.f64(l.SizeNM)
+	w.i64(int64(len(l.Polys)))
+	for _, p := range l.Polys {
+		w.i64(int64(len(p)))
+		for _, pt := range p {
+			w.f64(pt.X)
+			w.f64(pt.Y)
+		}
+	}
+
+	w.i64(int64(len(req.Samples)))
+	for _, s := range req.Samples {
+		w.f64(s.Pt.X)
+		w.f64(s.Pt.Y)
+		w.boolean(s.Horizontal)
+		w.f64(s.InwardX)
+		w.f64(s.InwardY)
+	}
+	return w.b.Bytes()
+}
+
+// decodeTileJob rebuilds a work order from a job payload.
+func decodeTileJob(payload []byte) (*tileJob, error) {
+	r := &wireReader{data: payload}
+	j := &tileJob{}
+	j.TileIndex = int(r.i64())
+	j.WindowPx = int(r.i64())
+	j.PixelNM = r.f64()
+
+	j.Optics.WavelengthNM = r.f64()
+	j.Optics.NA = r.f64()
+	j.Optics.SigmaIn = r.f64()
+	j.Optics.SigmaOut = r.f64()
+	j.Optics.PixelNM = r.f64()
+	j.Optics.GridSize = int(r.i64())
+	j.Optics.Kernels = int(r.i64())
+
+	j.Resist.Threshold = r.f64()
+	j.Resist.ThetaZ = r.f64()
+
+	c := &j.Cfg
+	c.Mode = ilt.Mode(r.i64())
+	c.Alpha = r.f64()
+	c.Beta = r.f64()
+	c.Gamma = r.f64()
+	c.SmoothWeight = r.f64()
+	c.ThetaM = r.f64()
+	c.ThetaEPE = r.f64()
+	c.StepSize = r.f64()
+	c.StepDecay = r.f64()
+	c.Momentum = r.f64()
+	c.MaxIter = int(r.i64())
+	c.GradTol = r.f64()
+	c.Jumps = int(r.i64())
+	c.JumpFactor = r.f64()
+	c.SRAFInit = r.boolean()
+	c.SRAFRules.BiasNM = r.f64()
+	c.SRAFRules.SRAFDistNM = r.f64()
+	c.SRAFRules.SRAFWidthNM = r.f64()
+	c.SRAFRules.SRAFMinLenNM = r.f64()
+	c.GradKernels = int(r.i64())
+	c.EPEThresholdNM = r.f64()
+	c.EPESampleNM = r.f64()
+	c.DefocusNM = r.f64()
+	c.DoseDelta = r.f64()
+
+	j.Layout = &geom.Layout{Name: r.str(), SizeNM: r.f64()}
+	nPolys := r.count(8)
+	for i := 0; i < nPolys && r.err == nil; i++ {
+		nPts := r.count(16)
+		poly := make(geom.Polygon, nPts)
+		for k := range poly {
+			poly[k].X = r.f64()
+			poly[k].Y = r.f64()
+		}
+		j.Layout.Polys = append(j.Layout.Polys, poly)
+	}
+
+	nSamples := r.count(40)
+	j.Samples = make([]geom.Sample, nSamples)
+	for i := range j.Samples {
+		s := &j.Samples[i]
+		s.Pt.X = r.f64()
+		s.Pt.Y = r.f64()
+		s.Horizontal = r.boolean()
+		s.InwardX = r.f64()
+		s.InwardY = r.f64()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after tile job", len(payload)-r.off)
+	}
+	if j.WindowPx <= 0 || j.WindowPx > 1<<15 {
+		return nil, fmt.Errorf("cluster: implausible window size %d px", j.WindowPx)
+	}
+	return j, nil
+}
+
+// encodeTileResult serializes one tile's optimization outcome. Only the
+// fields the coordinator stitches and journals cross the wire; History is
+// per-tile diagnostics and stays on the worker.
+func encodeTileResult(index int, res *ilt.Result) ([]byte, error) {
+	if res == nil || res.MaskGray == nil {
+		return nil, fmt.Errorf("cluster: tile %d result has no gray mask", index)
+	}
+	w := &wireWriter{}
+	w.i64(int64(index))
+	w.i64(int64(res.MaskGray.W))
+	w.f64(res.Objective)
+	w.i64(int64(res.Iterations))
+	w.f64(res.RuntimeSec)
+	for _, v := range res.MaskGray.Data {
+		w.f64(v)
+	}
+	return w.b.Bytes(), nil
+}
+
+// decodeTileResult rebuilds a tile result. The binary mask is re-derived
+// by thresholding the gray mask, exactly as the tile journal does, so a
+// remote result is indistinguishable from a journaled local one.
+func decodeTileResult(payload []byte) (int, *ilt.Result, error) {
+	r := &wireReader{data: payload}
+	idx := int(r.i64())
+	wpx := int(r.i64())
+	res := &ilt.Result{
+		Objective:  r.f64(),
+		Iterations: int(r.i64()),
+		RuntimeSec: r.f64(),
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if wpx <= 0 || wpx > 1<<15 || len(payload) != 40+8*wpx*wpx {
+		return 0, nil, fmt.Errorf("cluster: result payload %d bytes does not fit a %d px window", len(payload), wpx)
+	}
+	res.MaskGray = grid.New(wpx, wpx)
+	for i := range res.MaskGray.Data {
+		res.MaskGray.Data[i] = r.f64()
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	res.Mask = res.MaskGray.Threshold(0.5)
+	return idx, res, nil
+}

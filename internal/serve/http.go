@@ -3,7 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 
 	"mosaic/internal/obs"
 	"mosaic/internal/render"
@@ -45,15 +47,25 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps service errors onto HTTP status codes.
+// writeError maps service errors onto HTTP status codes: over-capacity
+// (queue full) answers 429 with a Retry-After hint, while a draining
+// server answers 503 — the former means "try this instance again
+// shortly", the latter "this instance is going away".
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	var qf *QueueFullError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNotDone), errors.Is(err, ErrFinished):
 		code = http.StatusConflict
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+	case errors.As(err, &qf):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(qf.RetryAfter.Seconds()))))
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(defaultRetryAfter.Seconds()))))
+	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})

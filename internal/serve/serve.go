@@ -32,6 +32,25 @@ var (
 	errCanceledByUser = errors.New("serve: canceled by request")
 )
 
+// defaultRetryAfter is the retry hint attached to queue-full rejections.
+const defaultRetryAfter = 2 * time.Second
+
+// QueueFullError rejects a submission because the queue is at its limit.
+// It unwraps to ErrQueueFull (errors.Is keeps working) and carries the
+// Retry-After hint the HTTP layer serves with a 429 — distinct from the
+// 503 a draining server answers, so clients can tell "try again shortly"
+// from "this instance is going away".
+type QueueFullError struct {
+	Limit      int           // the configured queue bound
+	RetryAfter time.Duration // suggested wait before resubmitting
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: queue is full (limit %d)", e.Limit)
+}
+
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
 // Queue metrics.
 var (
 	mJobsSubmitted   = obs.NewCounter("serve_jobs_submitted_total")
@@ -68,6 +87,10 @@ type Config struct {
 	// Tune, when non-nil, adjusts every job's optimizer configuration
 	// after the spec has been applied (test determinism, site policy).
 	Tune func(*mosaic.Config)
+	// TileRunner, when non-nil, executes the tiles of sharded jobs — e.g.
+	// a cluster.Coordinator dispatching to a worker fleet. Nil runs tiles
+	// in-process.
+	TileRunner mosaic.TileRunner
 }
 
 // Server owns the job queue and its workers.
@@ -162,7 +185,7 @@ func (s *Server) enqueue(j *job) error {
 		return ErrDraining
 	}
 	if s.queue.Len() >= s.cfg.QueueLimit {
-		return ErrQueueFull
+		return &QueueFullError{Limit: s.cfg.QueueLimit, RetryAfter: defaultRetryAfter}
 	}
 	s.seq++
 	j.seq = s.seq
@@ -431,6 +454,7 @@ func (s *Server) execute(ctx context.Context, j *job) (*mosaic.LayoutResult, *mo
 		Workers:      j.spec.TileWorkers,
 		Retries:      s.cfg.TileRetries,
 		RetryBackoff: s.cfg.TileRetryBackoff,
+		Runner:       s.cfg.TileRunner,
 		OnTile: func(done, total int) {
 			j.mu.Lock()
 			j.prog.TilesDone = done

@@ -5,6 +5,7 @@ import (
 	"container/heap"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -247,8 +248,13 @@ func TestQueueLimit(t *testing.T) {
 			t.Fatalf("queued submit %d: %v", i, err)
 		}
 	}
-	if _, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 1}); err != ErrQueueFull {
+	_, err = s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 1})
+	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("over-limit submit: %v, want ErrQueueFull", err)
+	}
+	var qf *QueueFullError
+	if !errors.As(err, &qf) || qf.Limit != 2 || qf.RetryAfter <= 0 {
+		t.Fatalf("over-limit submit: %v, want *QueueFullError with Limit=2 and a retry hint", err)
 	}
 	if _, err := s.Cancel(blocker.ID); err != nil {
 		t.Fatal(err)

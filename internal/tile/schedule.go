@@ -3,6 +3,7 @@ package tile
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,54 @@ import (
 	"mosaic/internal/obs"
 	"mosaic/internal/sim"
 )
+
+// Request carries everything needed to optimize one tile, independent of
+// where the optimization runs. Sim is the coordinator-side window
+// simulator: the local runner uses it directly, while a remote runner
+// serializes its configuration (optics plus the calibrated resist model)
+// so a worker rebuilds an identical forward model.
+type Request struct {
+	Plan    *Plan
+	Tile    *Tile
+	Sim     *sim.Simulator
+	Cfg     ilt.Config
+	Samples []geom.Sample
+}
+
+// Runner executes one tile optimization. The scheduler is runner-agnostic:
+// retries, journaling, progress, and stitching are identical whether tiles
+// run in-process (the default) or are dispatched to remote workers (see
+// internal/cluster). Implementations must be safe for concurrent calls and
+// must return results that depend only on the request, never on where or
+// when they ran — the bit-identity guarantee of a sharded run rests on it.
+type Runner interface {
+	RunTile(ctx context.Context, req *Request) (*ilt.Result, error)
+}
+
+// localRunner optimizes tiles in-process on the window simulator.
+type localRunner struct{}
+
+func (localRunner) RunTile(ctx context.Context, req *Request) (*ilt.Result, error) {
+	return RunWindow(ctx, req.Sim, req.Cfg, req.Tile.Layout, req.Plan.WindowPx, req.Plan.PixelNM, req.Samples)
+}
+
+// RunWindow runs the clip-level optimizer on one halo-padded window. It is
+// the single execution path shared by the local runner and remote workers,
+// so a tile produces the same bits wherever it runs. Windows with no
+// geometry short-circuit to an all-dark mask: nothing prints there, and
+// sparse full-chip layouts are mostly empty windows.
+func RunWindow(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, layout *geom.Layout, windowPx int, pixelNM float64, samples []geom.Sample) (*ilt.Result, error) {
+	if len(layout.Polys) == 0 {
+		z := grid.New(windowPx, windowPx)
+		return &ilt.Result{Mask: z, MaskGray: z.Clone()}, nil
+	}
+	opt, err := ilt.New(ws, cfg)
+	if err != nil {
+		return nil, err
+	}
+	target := layout.Rasterize(windowPx, pixelNM)
+	return opt.RunRasterCtx(ctx, layout, target, samples)
+}
 
 // Scheduler metrics: tiles optimized, the per-tile wall-time
 // distribution, transient-failure retries, and tiles skipped because a
@@ -57,6 +106,12 @@ type Options struct {
 	// only the remainder. Journaled results are stitched exactly as
 	// freshly computed ones, preserving bit-identical output.
 	Journal Journal
+
+	// Runner executes individual tiles; nil runs them in-process on the
+	// window simulator. A cluster coordinator plugs in here to dispatch
+	// tiles to remote workers while the scheduler, journal, and stitching
+	// stay unchanged.
+	Runner Runner
 
 	// tileFault, when non-nil, is consulted before each optimization
 	// attempt of a tile; a non-nil return fails that attempt. Test hook
@@ -146,6 +201,11 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 		}
 	}
 
+	runner := opts.Runner
+	if runner == nil {
+		runner = localRunner{}
+	}
+
 	workers := p.resolveWorkers(opts.Workers)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -180,7 +240,8 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 				}
 				t := &p.Tiles[i]
 				sp := obs.Span("tile.optimize")
-				res, err := p.optimizeTileRetry(ctx, ws, tcfg, t, samples[i], opts)
+				req := &Request{Plan: p, Tile: t, Sim: ws, Cfg: tcfg, Samples: samples[i]}
+				res, err := p.optimizeTileRetry(ctx, runner, req, opts)
 				if err != nil {
 					fail(fmt.Errorf("tile: optimizing tile (%d,%d): %w", t.Col, t.Row, err))
 					return
@@ -235,10 +296,11 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 	return out, nil
 }
 
-// optimizeTileRetry runs optimizeTile with the Options retry policy:
-// transient failures are retried with exponential backoff; cancellation
-// is returned immediately (a canceled run must not burn backoff time).
-func (p *Plan) optimizeTileRetry(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, t *Tile, samples []geom.Sample, opts Options) (*ilt.Result, error) {
+// optimizeTileRetry runs the runner with the Options retry policy:
+// transient failures are retried with exponential backoff under full
+// jitter; cancellation is returned immediately (a canceled run must not
+// burn backoff time).
+func (p *Plan) optimizeTileRetry(ctx context.Context, runner Runner, req *Request, opts Options) (*ilt.Result, error) {
 	backoff := opts.RetryBackoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
@@ -250,22 +312,23 @@ func (p *Plan) optimizeTileRetry(ctx context.Context, ws *sim.Simulator, cfg ilt
 		}
 		if attempt > 0 {
 			tileRetries.Inc()
+			wait := fullJitter(backoff)
 			obs.Logger().Warn("retrying tile",
-				"tile", t.Index, "attempt", attempt, "backoff", backoff, "err", lastErr)
+				"tile", req.Tile.Index, "attempt", attempt, "backoff", wait, "err", lastErr)
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(wait):
 			}
 			backoff *= 2
 		}
 		if opts.tileFault != nil {
-			if err := opts.tileFault(t.Index, attempt); err != nil {
+			if err := opts.tileFault(req.Tile.Index, attempt); err != nil {
 				lastErr = err
 				continue
 			}
 		}
-		res, err := p.optimizeTileCtx(ctx, ws, cfg, t, samples)
+		res, err := runner.RunTile(ctx, req)
 		if err == nil {
 			return res, nil
 		}
@@ -277,20 +340,15 @@ func (p *Plan) optimizeTileRetry(ctx context.Context, ws *sim.Simulator, cfg ilt
 	return nil, lastErr
 }
 
-// optimizeTile runs the clip-level optimizer on one window. Windows with
-// no geometry short-circuit to an all-dark mask: nothing prints there, and
-// sparse full-chip layouts are mostly empty windows.
-func (p *Plan) optimizeTileCtx(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, t *Tile, samples []geom.Sample) (*ilt.Result, error) {
-	if len(t.Layout.Polys) == 0 {
-		z := grid.New(p.WindowPx, p.WindowPx)
-		return &ilt.Result{Mask: z, MaskGray: z.Clone()}, nil
+// fullJitter draws a uniformly random wait in (0, d]. Simultaneous tile
+// failures — a dead remote worker fails every tile it held at once —
+// would otherwise retry in lockstep and hammer whatever replaced it;
+// jittering the whole interval spreads the retry wave out.
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
 	}
-	opt, err := ilt.New(ws, cfg)
-	if err != nil {
-		return nil, err
-	}
-	target := t.Layout.Rasterize(p.WindowPx, p.PixelNM)
-	return opt.RunRasterCtx(ctx, t.Layout, target, samples)
+	return time.Duration(rand.Int64N(int64(d))) + 1
 }
 
 // checkWindowSim validates that ws simulates exactly one plan window.

@@ -1,0 +1,35 @@
+package tile
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFullJitterBounds checks the retry jitter stays in (0, d] and
+// actually spreads — a degenerate constant wait would put simultaneous
+// tile failures right back in lockstep.
+func TestFullJitterBounds(t *testing.T) {
+	if got := fullJitter(0); got != 0 {
+		t.Fatalf("fullJitter(0) = %s, want 0", got)
+	}
+	if got := fullJitter(-time.Second); got != 0 {
+		t.Fatalf("fullJitter(-1s) = %s, want 0", got)
+	}
+	const d = 80 * time.Millisecond
+	lo, hi := d, time.Duration(0)
+	for i := 0; i < 2000; i++ {
+		w := fullJitter(d)
+		if w <= 0 || w > d {
+			t.Fatalf("fullJitter(%s) = %s, want a wait in (0, %s]", d, w, d)
+		}
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if hi-lo < d/4 {
+		t.Fatalf("2000 draws spanned only [%s, %s]; the jitter is not spreading", lo, hi)
+	}
+}

@@ -97,6 +97,12 @@ type (
 	TileJournal = tile.Journal
 	// FileTileJournal is the append-only on-disk TileJournal.
 	FileTileJournal = tile.FileJournal
+	// TileRunner executes one tile of a sharded run; the default runs
+	// in-process, internal/cluster's Coordinator runs on a worker fleet
+	// (see TileOptions.Runner).
+	TileRunner = tile.Runner
+	// TileRequest is the work order a TileRunner receives.
+	TileRequest = tile.Request
 )
 
 // OpenTileJournal opens (creating if absent) an on-disk tile journal for
@@ -272,6 +278,12 @@ type TileOptions struct {
 	// run skip tiles a previous (crashed or drained) run already
 	// finished. See OpenTileJournal.
 	Journal TileJournal
+	// Runner, when non-nil, executes tiles in place of the in-process
+	// optimizer — e.g. a cluster.Coordinator dispatching to a worker
+	// fleet. Scheduling, retries, journaling, and stitching are unchanged,
+	// so any Runner that reproduces tile.RunWindow's bits keeps the run
+	// bit-identical to a local one.
+	Runner TileRunner
 }
 
 // LayoutResult is the outcome of OptimizeLayout: a mask covering the whole
@@ -357,6 +369,7 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		Retries:      opts.Retries,
 		RetryBackoff: opts.RetryBackoff,
 		Journal:      opts.Journal,
+		Runner:       opts.Runner,
 	})
 	if err != nil {
 		return nil, wrapCanceled(err)

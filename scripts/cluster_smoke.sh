@@ -1,0 +1,139 @@
+#!/bin/sh
+# Multi-process smoke test of the cluster: run a sharded job on a lone
+# coordinator (local fallback) as the reference, then rerun it on a
+# coordinator with two joined workers, SIGKILL one worker mid-run, and
+# require the cluster's stitched mask to be byte-identical to the
+# reference — lease reassignment and all. Needs only curl, cmp, and a
+# POSIX shell.
+set -eu
+
+PORT_C="${PORT_C:-18331}"
+PORT_W1="${PORT_W1:-18332}"
+PORT_W2="${PORT_W2:-18333}"
+BASE="http://127.0.0.1:$PORT_C"
+DIR="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$DIR"' EXIT INT TERM
+
+echo "cluster-smoke: building mosaicd"
+go build -o "$DIR/mosaicd" ./cmd/mosaicd
+
+# A 1024 nm clip sharding 2x2 at 512 nm with geometry in every quadrant,
+# sized so each tile runs long enough to be killed mid-flight.
+SPEC='{"layout":"CLIP cluster-smoke 1024\nRECT 300 470 424 84\nRECT 100 100 160 90\nRECT 700 760 180 96\nRECT 680 180 110 110\nRECT 140 720 130 100\n","mode":"fast","max_iter":120,"tile_nm":512,"tile_workers":4}'
+
+wait_healthy() { # $1 = base url, $2 = log file
+    i=0
+    while [ "$i" -lt 50 ]; do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        i=$((i + 1)); sleep 0.2
+    done
+    echo "cluster-smoke: $1 never became healthy" >&2
+    cat "$2" >&2
+    exit 1
+}
+
+submit() { # prints the job id
+    curl -fsS -X POST "$BASE/v1/jobs" -d "$SPEC" \
+        | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p'
+}
+
+wait_done() { # $1 = job id
+    state=""
+    i=0
+    while [ "$i" -lt 600 ]; do
+        state=$(curl -fsS "$BASE/v1/jobs/$1" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+        case "$state" in done|failed|canceled) break ;; esac
+        i=$((i + 1)); sleep 0.2
+    done
+    if [ "$state" != done ]; then
+        echo "cluster-smoke: job $1 ended in state '$state'" >&2
+        curl -fsS "$BASE/v1/jobs/$1" >&2 || true
+        return 1
+    fi
+}
+
+# ---- Reference: the same daemon with no workers joined (local fallback).
+"$DIR/mosaicd" -addr "127.0.0.1:$PORT_C" -grid 64 \
+    -checkpoint-dir "$DIR/ckpt-ref" -log-level info >"$DIR/ref.log" 2>&1 &
+REF_PID=$!
+PIDS="$REF_PID"
+wait_healthy "$BASE" "$DIR/ref.log"
+
+ID=$(submit)
+[ -n "$ID" ] || { echo "cluster-smoke: reference submit returned no job id" >&2; exit 1; }
+echo "cluster-smoke: reference job $ID running locally"
+wait_done "$ID"
+curl -fsS -o "$DIR/ref.pgm" "$BASE/v1/jobs/$ID/mask.pgm"
+kill -TERM "$REF_PID"
+wait "$REF_PID" || { echo "cluster-smoke: reference daemon exited non-zero" >&2; cat "$DIR/ref.log" >&2; exit 1; }
+PIDS=""
+
+# ---- Cluster: coordinator + 2 workers, one of which dies mid-run.
+"$DIR/mosaicd" -addr "127.0.0.1:$PORT_C" -grid 64 \
+    -checkpoint-dir "$DIR/ckpt-cluster" -heartbeat-ttl 3s \
+    -log-level info >"$DIR/coord.log" 2>&1 &
+COORD_PID=$!
+PIDS="$COORD_PID"
+wait_healthy "$BASE" "$DIR/coord.log"
+
+"$DIR/mosaicd" -worker -join "$BASE" -addr "127.0.0.1:$PORT_W1" -workers 2 \
+    -log-level info >"$DIR/worker1.log" 2>&1 &
+W1_PID=$!
+PIDS="$PIDS $W1_PID"
+"$DIR/mosaicd" -worker -join "$BASE" -addr "127.0.0.1:$PORT_W2" -workers 2 \
+    -log-level info >"$DIR/worker2.log" 2>&1 &
+W2_PID=$!
+PIDS="$PIDS $W2_PID"
+
+i=0
+while [ "$i" -lt 50 ]; do
+    FLEET=$(curl -fsS "$BASE/v1/cluster/workers" 2>/dev/null | grep -o '"id"' | wc -l)
+    [ "$FLEET" -eq 2 ] && break
+    i=$((i + 1)); sleep 0.2
+done
+[ "$FLEET" -eq 2 ] || { echo "cluster-smoke: fleet stuck at $FLEET workers, want 2" >&2; cat "$DIR/coord.log" >&2; exit 1; }
+echo "cluster-smoke: 2 workers joined"
+
+ID2=$(submit)
+[ -n "$ID2" ] || { echo "cluster-smoke: cluster submit returned no job id" >&2; exit 1; }
+
+# SIGKILL worker 1 once all four tile leases are granted: with the
+# per-worker caps the fleet balances two tiles onto each worker, so the
+# victim is guaranteed to die holding leases mid-tile.
+i=0
+LEASES=""
+while [ "$i" -lt 600 ]; do
+    LEASES=$(curl -fsS "$BASE/metrics" | sed -n 's/^cluster_leases_granted_total \([0-9]*\)$/\1/p')
+    [ -n "$LEASES" ] && [ "$LEASES" -ge 4 ] && break
+    i=$((i + 1)); sleep 0.1
+done
+[ -n "$LEASES" ] && [ "$LEASES" -ge 4 ] || { echo "cluster-smoke: tile leases were never granted" >&2; cat "$DIR/coord.log" >&2; exit 1; }
+kill -9 "$W1_PID"
+echo "cluster-smoke: SIGKILLed worker 1 holding live leases ($LEASES granted)"
+
+wait_done "$ID2"
+curl -fsS -o "$DIR/cluster.pgm" "$BASE/v1/jobs/$ID2/mask.pgm"
+
+cmp -s "$DIR/ref.pgm" "$DIR/cluster.pgm" || {
+    echo "cluster-smoke: cluster mask differs from the local reference" >&2
+    exit 1
+}
+echo "cluster-smoke: cluster mask is byte-identical to the local run"
+
+grep -E "worker removed|reassigning tile" "$DIR/coord.log" >/dev/null || {
+    echo "cluster-smoke: coordinator log shows no lease reassignment after the SIGKILL" >&2
+    cat "$DIR/coord.log" >&2
+    exit 1
+}
+curl -fsS "$BASE/metrics" | grep -E 'cluster_tiles_remote_total [1-9]' >/dev/null || {
+    echo "cluster-smoke: no tiles ran remotely; the fleet was never used" >&2
+    exit 1
+}
+echo "cluster-smoke: lease reassignment and remote execution confirmed"
+
+kill -TERM "$W2_PID" 2>/dev/null || true
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || { echo "cluster-smoke: coordinator exited non-zero" >&2; cat "$DIR/coord.log" >&2; exit 1; }
+PIDS=""
+echo "cluster-smoke: ok"
