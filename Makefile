@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet test build bench serve-smoke cluster-smoke
+.PHONY: check fmt vet staticcheck test build bench serve-smoke cluster-smoke
 
 # check is the tier-1 verification: formatting, static analysis, and the
 # full test suite under the race detector.
-check: fmt vet test
+check: fmt vet staticcheck test
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -12,6 +12,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is best-effort locally (the binary may not be installed and
+# check must work offline); CI installs it, so there it always runs.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test -race ./...

@@ -41,6 +41,7 @@ func main() {
 	haloNM := flag.Float64("halo-nm", 0, "minimum optical halo around each tile core in nm (0 = lambda/NA)")
 	tileWorkers := flag.Int("tile-workers", 0, "concurrent tile optimizations (0 = GOMAXPROCS)")
 	out := flag.String("out", "mosaic-out", "output directory")
+	tracePerfetto := flag.String("trace-perfetto", "", "write the run's span tree as Perfetto trace_event JSON to this file")
 	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -106,17 +107,32 @@ func main() {
 		mosaic.Logger().Info("tile done", "done", done, "total", total,
 			"elapsed", time.Since(runStart).Round(time.Millisecond))
 	}
-	res, err := setup.OptimizeLayout(context.Background(), optCfg, layout, topts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rep, err := setup.EvaluateLayout(res.Mask, layout, topts, res.RuntimeSec)
-	if err != nil {
-		log.Fatal(err)
+
+	// With -trace-perfetto the whole run is collected as one correlated
+	// span tree and exported for ui.perfetto.dev.
+	ctx := context.Background()
+	var traceBuf *mosaic.TraceBuffer
+	if *tracePerfetto != "" {
+		traceBuf = mosaic.NewTraceBuffer(0)
+		ctx = mosaic.WithTraceBuffer(ctx, traceBuf)
 	}
 
+	res, err := setup.OptimizeLayout(ctx, optCfg, layout, topts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := setup.EvaluateLayoutCtx(ctx, res.Mask, layout, topts, res.RuntimeSec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
+	}
+	if traceBuf != nil {
+		if err := os.WriteFile(*tracePerfetto, mosaic.PerfettoTrace("mosaic", traceBuf.Events()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("perfetto trace (%d events) written to %s\n", traceBuf.Len(), *tracePerfetto)
 	}
 	must := func(err error) {
 		if err != nil {

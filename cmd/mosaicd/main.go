@@ -148,8 +148,6 @@ func runWorker(addr, join, advertise string, capacity int, drainTimeout time.Dur
 	if join == "" {
 		log.Fatal("-worker requires -join http://coordinator:port")
 	}
-	wk := cluster.NewWorker(cluster.WorkerConfig{Capacity: capacity})
-
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
@@ -157,6 +155,9 @@ func runWorker(addr, join, advertise string, capacity int, drainTimeout time.Dur
 	if advertise == "" {
 		advertise = deriveAdvertise(ln.Addr())
 	}
+	// Name the worker by its advertised URL so spans it ships back are
+	// attributed to a recognizable process lane in assembled traces.
+	wk := cluster.NewWorker(cluster.WorkerConfig{Capacity: capacity, Name: advertise})
 	mux := http.NewServeMux()
 	mux.Handle("/v1/cluster/", wk.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"os"
 	"strings"
 
 	"mosaic/internal/obs"
@@ -15,6 +16,7 @@ import (
 //	-log-level LEVEL   debug, info, warn or error (default info)
 //	-pprof ADDR        serve net/http/pprof, /metrics and /debug/vars
 //	-trace FILE        write a JSONL span trace
+//	-version           print build info and exit
 //
 // Register with AddObsFlags before flag.Parse, then call Setup once after
 // parsing and defer the returned cleanup.
@@ -23,6 +25,7 @@ type ObsFlags struct {
 	LogLevel string
 	Pprof    string
 	Trace    string
+	Version  bool
 
 	// Addr is the bound debug-server address after Setup when -pprof was
 	// set (useful with ":0").
@@ -37,6 +40,7 @@ func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
 	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn, error")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address (e.g. :6060)")
 	fs.StringVar(&f.Trace, "trace", "", "write a JSONL span trace to this file")
+	fs.BoolVar(&f.Version, "version", false, "print version and build info, then exit")
 	return f
 }
 
@@ -60,6 +64,10 @@ func ParseLogLevel(s string) (slog.Level, error) {
 // debug HTTP server, and opens the trace file. The returned cleanup stops
 // tracing (flushing the file) and must be deferred by the caller.
 func (f *ObsFlags) Setup() (cleanup func(), err error) {
+	if f.Version {
+		fmt.Println(obs.ReadBuild())
+		os.Exit(0)
+	}
 	lvl, err := ParseLogLevel(f.LogLevel)
 	if err != nil {
 		return nil, err

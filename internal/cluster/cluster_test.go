@@ -260,11 +260,11 @@ func TestTileResultCodecRoundTrip(t *testing.T) {
 		g.Data[i] = vals[i%len(vals)]
 	}
 	in := &ilt.Result{MaskGray: g, Objective: 42.125, Iterations: 7, RuntimeSec: 1.5}
-	payload, err := encodeTileResult(3, in)
+	payload, err := encodeTileResult(3, in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, out, err := decodeTileResult(payload)
+	idx, out, _, err := decodeTileResult(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,11 +283,21 @@ func TestTileResultCodecRoundTrip(t *testing.T) {
 		}
 	}
 
-	if _, _, err := decodeTileResult(payload[:len(payload)-8]); err == nil {
+	if _, _, _, err := decodeTileResult(payload[:len(payload)-16]); err == nil {
 		t.Fatal("truncated result payload accepted")
 	}
-	if _, err := encodeTileResult(0, &ilt.Result{}); err == nil {
+	if _, _, _, err := decodeTileResult(append(payload, 0)); err == nil {
+		t.Fatal("trailing bytes after the span section accepted")
+	}
+	if _, err := encodeTileResult(0, &ilt.Result{}, nil); err == nil {
 		t.Fatal("result without a gray mask encoded")
+	}
+
+	// A payload ending at the mask data — a frame from a peer predating
+	// span shipping — still decodes, with no spans.
+	legacy := payload[:len(payload)-8]
+	if idx, out, spans, err := decodeTileResult(legacy); err != nil || idx != 3 || out == nil || spans != nil {
+		t.Fatalf("legacy span-less payload rejected: idx=%d spans=%v err=%v", idx, spans, err)
 	}
 }
 

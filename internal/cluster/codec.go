@@ -7,10 +7,12 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"time"
 
 	"mosaic/internal/geom"
 	"mosaic/internal/grid"
 	"mosaic/internal/ilt"
+	"mosaic/internal/obs"
 	"mosaic/internal/optics"
 	"mosaic/internal/resist"
 	"mosaic/internal/tile"
@@ -329,10 +331,91 @@ func decodeTileJob(payload []byte) (*tileJob, error) {
 	return j, nil
 }
 
-// encodeTileResult serializes one tile's optimization outcome. Only the
-// fields the coordinator stitches and journals cross the wire; History is
-// per-tile diagnostics and stays on the worker.
-func encodeTileResult(index int, res *ilt.Result) ([]byte, error) {
+// Span attribute value kinds on the wire.
+const (
+	attrKindString int64 = 0
+	attrKindInt    int64 = 1
+	attrKindFloat  int64 = 2
+)
+
+// encodeSpans appends a span section: the worker's buffered trace events,
+// shipped back piggybacked on the result frame so the coordinator can
+// assemble one cross-process trace.
+func encodeSpans(w *wireWriter, spans []obs.SpanEvent) {
+	w.i64(int64(len(spans)))
+	for _, ev := range spans {
+		w.str(ev.Name)
+		w.str(ev.TraceID)
+		w.str(ev.SpanID)
+		w.str(ev.ParentID)
+		w.i64(ev.Start.UnixMicro())
+		w.i64(ev.Dur.Microseconds())
+		w.boolean(ev.Instant)
+		w.i64(int64(len(ev.Attrs)))
+		for _, a := range ev.Attrs {
+			w.str(a.Key)
+			switch v := a.Value.(type) {
+			case string:
+				w.i64(attrKindString)
+				w.str(v)
+			case int64:
+				w.i64(attrKindInt)
+				w.i64(v)
+			case float64:
+				w.i64(attrKindFloat)
+				w.f64(v)
+			default:
+				// Unknown kinds degrade to their string form rather than
+				// corrupting the frame.
+				w.i64(attrKindString)
+				w.str(fmt.Sprint(v))
+			}
+		}
+	}
+}
+
+// decodeSpans reads the span section written by encodeSpans.
+func decodeSpans(r *wireReader) []obs.SpanEvent {
+	n := r.count(8 * 7) // name/trace/span/parent lengths + start + dur + instant
+	if n == 0 {
+		return nil
+	}
+	spans := make([]obs.SpanEvent, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		ev := obs.SpanEvent{
+			Name:     r.str(),
+			TraceID:  r.str(),
+			SpanID:   r.str(),
+			ParentID: r.str(),
+		}
+		ev.Start = time.UnixMicro(r.i64())
+		ev.Dur = time.Duration(r.i64()) * time.Microsecond
+		ev.Instant = r.boolean()
+		nAttrs := r.count(8 * 3) // key length + kind + value
+		for k := 0; k < nAttrs && r.err == nil; k++ {
+			a := obs.Attr{Key: r.str()}
+			switch kind := r.i64(); kind {
+			case attrKindString:
+				a.Value = r.str()
+			case attrKindInt:
+				a.Value = r.i64()
+			case attrKindFloat:
+				a.Value = r.f64()
+			default:
+				r.fail("unknown span attribute kind %d", kind)
+			}
+			ev.Attrs = append(ev.Attrs, a)
+		}
+		spans = append(spans, ev)
+	}
+	return spans
+}
+
+// encodeTileResult serializes one tile's optimization outcome plus the
+// worker's buffered trace spans. Only the fields the coordinator stitches
+// and journals cross the wire; History is per-tile diagnostics and stays
+// on the worker.
+func encodeTileResult(index int, res *ilt.Result, spans []obs.SpanEvent) ([]byte, error) {
 	if res == nil || res.MaskGray == nil {
 		return nil, fmt.Errorf("cluster: tile %d result has no gray mask", index)
 	}
@@ -345,13 +428,16 @@ func encodeTileResult(index int, res *ilt.Result) ([]byte, error) {
 	for _, v := range res.MaskGray.Data {
 		w.f64(v)
 	}
+	encodeSpans(w, spans)
 	return w.b.Bytes(), nil
 }
 
-// decodeTileResult rebuilds a tile result. The binary mask is re-derived
-// by thresholding the gray mask, exactly as the tile journal does, so a
-// remote result is indistinguishable from a journaled local one.
-func decodeTileResult(payload []byte) (int, *ilt.Result, error) {
+// decodeTileResult rebuilds a tile result and its shipped spans. The
+// binary mask is re-derived by thresholding the gray mask, exactly as the
+// tile journal does, so a remote result is indistinguishable from a
+// journaled local one. A payload ending at the mask data (no span section)
+// decodes with nil spans, so pre-tracing peers interoperate.
+func decodeTileResult(payload []byte) (int, *ilt.Result, []obs.SpanEvent, error) {
 	r := &wireReader{data: payload}
 	idx := int(r.i64())
 	wpx := int(r.i64())
@@ -361,18 +447,25 @@ func decodeTileResult(payload []byte) (int, *ilt.Result, error) {
 		RuntimeSec: r.f64(),
 	}
 	if r.err != nil {
-		return 0, nil, r.err
+		return 0, nil, nil, r.err
 	}
-	if wpx <= 0 || wpx > 1<<15 || len(payload) != 40+8*wpx*wpx {
-		return 0, nil, fmt.Errorf("cluster: result payload %d bytes does not fit a %d px window", len(payload), wpx)
+	if wpx <= 0 || wpx > 1<<15 || len(payload) < 40+8*wpx*wpx {
+		return 0, nil, nil, fmt.Errorf("cluster: result payload %d bytes does not fit a %d px window", len(payload), wpx)
 	}
 	res.MaskGray = grid.New(wpx, wpx)
 	for i := range res.MaskGray.Data {
 		res.MaskGray.Data[i] = r.f64()
 	}
+	var spans []obs.SpanEvent
+	if r.off < len(payload) {
+		spans = decodeSpans(r)
+	}
 	if r.err != nil {
-		return 0, nil, r.err
+		return 0, nil, nil, r.err
+	}
+	if r.off != len(payload) {
+		return 0, nil, nil, fmt.Errorf("cluster: %d trailing bytes after tile result", len(payload)-r.off)
 	}
 	res.Mask = res.MaskGray.Threshold(0.5)
-	return idx, res, nil
+	return idx, res, spans, nil
 }

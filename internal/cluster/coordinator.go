@@ -342,6 +342,9 @@ func (c *Coordinator) RunTile(ctx context.Context, req *tile.Request) (*ilt.Resu
 			c.removeWorker(w.id, fmt.Sprintf("tile %d dispatch failed: %v", req.Tile.Index, derr.err))
 		}
 		mTilesReassigned.Inc()
+		obs.Event(ctx, "cluster.reassign",
+			obs.Int("tile", req.Tile.Index), obs.String("worker", w.id),
+			obs.Int("attempt", attempt+1), obs.String("error", derr.err.Error()))
 		obs.Logger().Warn("cluster: reassigning tile",
 			"tile", req.Tile.Index, "worker", w.id, "attempt", attempt+1, "err", derr.err)
 	}
@@ -397,6 +400,12 @@ type dispatchError struct {
 // it early if the worker dies.
 func (c *Coordinator) dispatch(ctx context.Context, w *remoteWorker, tileIdx int, payload []byte) (*ilt.Result, *dispatchError) {
 	dctx, cancel := context.WithDeadline(ctx, time.Now().Add(c.cfg.LeaseTTL))
+	// The dispatch span is the remote subtree's parent: its identity goes
+	// out on the Traceparent header, and the worker's shipped spans come
+	// back as its children.
+	dctx, dspan := obs.StartSpan(dctx, "cluster.dispatch",
+		obs.Int("tile", tileIdx), obs.String("worker", w.id), obs.String("worker_addr", w.addr))
+	defer dspan.End()
 	l := &lease{workerID: w.id, tileIdx: tileIdx, cancel: cancel}
 	c.mu.Lock()
 	c.seq++
@@ -423,11 +432,14 @@ func (c *Coordinator) dispatch(ctx context.Context, w *remoteWorker, tileIdx int
 		return nil, &dispatchError{err: err, permanent: true}
 	}
 	httpReq.Header.Set("Content-Type", "application/octet-stream")
+	httpReq.Header.Set("Traceparent", dspan.Context().Traceparent())
 	resp, err := c.client.Do(httpReq)
 	mBytesSent.Add(int64(frame.Len()))
 	if err != nil {
 		if dctx.Err() != nil && ctx.Err() == nil {
 			mLeasesExpired.Inc()
+			obs.Event(dctx, "cluster.lease_expired",
+				obs.Int("tile", tileIdx), obs.String("worker", w.id))
 			return nil, &dispatchError{err: fmt.Errorf("cluster: lease on tile %d expired after %s: %w", tileIdx, c.cfg.LeaseTTL, err), removeWorker: true}
 		}
 		return nil, &dispatchError{err: err, removeWorker: true}
@@ -452,13 +464,17 @@ func (c *Coordinator) dispatch(ctx context.Context, w *remoteWorker, tileIdx int
 		return nil, &dispatchError{err: err, removeWorker: true}
 	}
 	mBytesRecv.Add(int64(n))
-	gotIdx, res, err := decodeTileResult(body)
+	gotIdx, res, spans, err := decodeTileResult(body)
 	if err != nil {
 		return nil, &dispatchError{err: err, removeWorker: true}
 	}
 	if gotIdx != tileIdx {
 		return nil, &dispatchError{err: fmt.Errorf("cluster: worker %s answered tile %d for tile %d", w.id, gotIdx, tileIdx), removeWorker: true}
 	}
+	// Replay the worker's shipped spans into this run's trace: they carry
+	// the dispatch span's trace ID already, so the assembled tree crosses
+	// the process boundary seamlessly.
+	obs.EmitShipped(dctx, spans)
 	c.mu.Lock()
 	w.done++
 	c.mu.Unlock()

@@ -25,6 +25,10 @@ type WorkerConfig struct {
 	// Client performs control-plane calls (join, heartbeat, leave); nil
 	// uses a client with a 10-second timeout.
 	Client *http.Client
+	// Name identifies this worker process in shipped trace spans (the
+	// "proc" attribute); usually its advertised address. Empty means
+	// "worker".
+	Name string
 }
 
 // Worker is the executor side of a cluster: it serves tile jobs over
@@ -34,6 +38,7 @@ type WorkerConfig struct {
 type Worker struct {
 	capacity int
 	client   *http.Client
+	name     string
 	slots    chan struct{}
 
 	simMu sync.Mutex
@@ -57,9 +62,14 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
+	name := cfg.Name
+	if name == "" {
+		name = "worker"
+	}
 	return &Worker{
 		capacity: cfg.Capacity,
 		client:   client,
+		name:     name,
 		slots:    make(chan struct{}, cfg.Capacity),
 		sims:     make(map[string]*simEntry),
 	}
@@ -119,8 +129,21 @@ func (w *Worker) handleTile(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "building simulator: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+
+	// Adopt the coordinator's trace position, if it sent one: every span
+	// this tile produces is buffered locally and shipped back on the
+	// result frame, so the coordinator assembles one cross-process trace.
+	ctx := r.Context()
+	var buf *obs.SpanBuffer
+	var tileSpan *obs.ActiveSpan
+	if tc, err := obs.ParseTraceparent(r.Header.Get("Traceparent")); err == nil {
+		buf = obs.NewSpanBuffer(0)
+		ctx = obs.ContextWithRemote(ctx, tc, buf)
+		ctx, tileSpan = obs.StartSpan(ctx, "worker.tile", obs.Int("tile", job.TileIndex))
+	}
+
 	start := time.Now()
-	res, err := tile.RunWindow(r.Context(), ws, job.Cfg, job.Layout, job.WindowPx, job.PixelNM, job.Samples)
+	res, err := tile.RunWindow(ctx, ws, job.Cfg, job.Layout, job.WindowPx, job.PixelNM, job.Samples)
 	if err != nil {
 		// The coordinator (or its lease) canceled the request mid-tile:
 		// nobody is listening for this body anyway.
@@ -131,7 +154,26 @@ func (w *Worker) handleTile(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, fmt.Sprintf("optimizing tile %d: %v", job.TileIndex, err), http.StatusInternalServerError)
 		return
 	}
-	out, err := encodeTileResult(job.TileIndex, res)
+	var spans []obs.SpanEvent
+	if buf != nil {
+		tileSpan.End()
+		spans = buf.Events()
+		for i := range spans {
+			attrs := append(spans[i].Attrs, obs.String("proc", w.name))
+			hasTile := false
+			for _, a := range attrs {
+				if a.Key == "tile" {
+					hasTile = true
+					break
+				}
+			}
+			if !hasTile {
+				attrs = append(attrs, obs.Int("tile", job.TileIndex))
+			}
+			spans[i].Attrs = attrs
+		}
+	}
+	out, err := encodeTileResult(job.TileIndex, res, spans)
 	if err != nil {
 		http.Error(rw, "encoding tile result: "+err.Error(), http.StatusInternalServerError)
 		return

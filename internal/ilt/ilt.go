@@ -316,7 +316,8 @@ var iterations = obs.NewCounter("ilt_iterations_total")
 
 // runRaster is the core loop of Alg. 1 on a rasterized target.
 func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
-	runSpan := obs.Span("ilt.run")
+	ctx, runSpan := obs.StartSpan(ctx, "ilt.run", obs.String("layout", layout.Name))
+	defer runSpan.End()
 	start := time.Now()
 	var diagSec float64 // TrackMetrics evaluation time, excluded from RuntimeSec
 	cfg := o.Cfg
@@ -378,7 +379,6 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 		// gradient of one iteration are the atomic unit of work, so a
 		// cancelled run frees its goroutine within one iteration.
 		if err := ctx.Err(); err != nil {
-			runSpan.End()
 			return nil, fmt.Errorf("ilt: run canceled before iteration %d: %w", iter, err)
 		}
 		iterStart := time.Now()
@@ -386,7 +386,7 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 		// endIter records the iteration's optimizer time (diagnostic
 		// evaluation excluded) and must run on every loop exit path.
 		endIter := func() {
-			obs.ObserveSpan("ilt.iteration", time.Since(iterStart)-diagDur)
+			obs.ObserveSpan("ilt.iteration", iterStart, time.Since(iterStart)-diagDur)
 			iterations.Inc()
 			diagSec += diagDur.Seconds()
 		}
@@ -428,6 +428,13 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 		if cfg.OnIter != nil {
 			cfg.OnIter(st)
 		}
+		obs.Event(ctx, "ilt.iter",
+			obs.Int("iter", st.Iter),
+			obs.Float("objective", st.Objective),
+			obs.Float("grad_rms", st.GradRMS),
+			obs.Int("epe", st.ProxyEPE),
+			obs.Float("pvband_nm2", st.ProxyPVBandNM2),
+			obs.Float("score", st.ProxyScore))
 
 		// Alg. 1 line 9: remember the iterate with the lowest objective
 		// value, measured as the Eq. 7 quantity (proxy score) with the

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo describes the running binary, read once from the Go build
+// metadata embedded by the linker.
+type BuildInfo struct {
+	Version   string // main module version ("(devel)" for plain go build)
+	GoVersion string
+	Revision  string // VCS revision, 12 chars, "+dirty" suffix when modified
+}
+
+var buildInfo = readBuildInfo()
+
+func readBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		bi.Revision = rev
+	}
+	return bi
+}
+
+// ReadBuild returns the binary's build metadata.
+func ReadBuild() BuildInfo { return buildInfo }
+
+// String renders the build info as a one-line version banner.
+func (bi BuildInfo) String() string {
+	return fmt.Sprintf("mosaic %s (%s, rev %s)", bi.Version, bi.GoVersion, bi.Revision)
+}
+
+func init() {
+	NewInfo("mosaic_build_info", map[string]string{
+		"version":   buildInfo.Version,
+		"goversion": buildInfo.GoVersion,
+		"revision":  buildInfo.Revision,
+	})
+}

@@ -77,6 +77,60 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // String implements expvar.Var.
 func (g *Gauge) String() string { return strconv.FormatFloat(g.Value(), 'g', -1, 64) }
 
+// Info is a constant gauge of value 1 whose labels carry the payload — the
+// Prometheus idiom for build/runtime metadata (e.g. mosaic_build_info).
+type Info struct{ labels map[string]string }
+
+// NewInfo returns the info metric registered under name, creating it with
+// the given labels on first use. Labels are fixed at creation.
+func NewInfo(name string, labels map[string]string) *Info {
+	return register(name, func() *Info {
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+		return &Info{labels: cp}
+	})
+}
+
+// labelString renders the label set in {k="v",...} form, keys sorted.
+func (i *Info) labelString() string {
+	keys := make([]string, 0, len(i.labels))
+	for k := range i.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for j, k := range keys {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, i.labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// String implements expvar.Var with a JSON object of the labels.
+func (i *Info) String() string {
+	keys := make([]string, 0, len(i.labels))
+	for k := range i.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for j, k := range keys {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%q:%q", k, i.labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
 // Histogram counts observations into fixed buckets with inclusive upper
 // bounds (Prometheus "le" semantics); an implicit +Inf bucket catches the
 // rest. Observation is lock-free: a binary search plus two atomic adds.
@@ -179,6 +233,8 @@ func WriteMetrics(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v.Value())
 		case *Gauge:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, v.Value())
+		case *Info:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s%s 1\n", n, n, v.labelString())
 		case *Histogram:
 			bounds, counts := v.Buckets()
 			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {

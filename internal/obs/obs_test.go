@@ -142,7 +142,7 @@ func TestSpanFeedsHistogram(t *testing.T) {
 	if h.Count() < 1 {
 		t.Fatal("span did not record into its histogram")
 	}
-	ObserveSpan("test.span", 2*time.Millisecond)
+	ObserveSpan("test.span", time.Now().Add(-2*time.Millisecond), 2*time.Millisecond)
 	if h.Count() < 2 {
 		t.Fatal("ObserveSpan did not record")
 	}
@@ -154,7 +154,7 @@ func TestTraceJSONLRoundTrip(t *testing.T) {
 	sp := Span("trace.one")
 	time.Sleep(time.Millisecond)
 	sp.End()
-	ObserveSpan("trace.two", 5*time.Millisecond)
+	ObserveSpan("trace.two", time.Now().Add(-5*time.Millisecond), 5*time.Millisecond)
 	if err := StopTrace(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// perfettoEvent is one entry of a Chrome/Perfetto trace_event JSON array.
+// Phases used: "X" (complete span), "i" (instant), "M" (metadata).
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // µs since the Unix epoch
+	Dur   int64          `json:"dur,omitempty"` // µs
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type perfettoTrace struct {
+	TraceEvents []perfettoEvent `json:"traceEvents"`
+	DisplayUnit string          `json:"displayTimeUnit"`
+}
+
+// PerfettoTrace renders span events as Chrome trace_event JSON loadable in
+// ui.perfetto.dev or chrome://tracing. Events are grouped into one Perfetto
+// "process" lane per originating OS process — identified by each event's
+// "proc" attribute, with localProc naming events that carry none — and
+// into one "thread" lane per tile (the "tile" attribute), with tileless
+// events on tid 0. Correlation IDs and remaining attributes become event
+// args so traces stay greppable after export.
+func PerfettoTrace(localProc string, evs []SpanEvent) []byte {
+	if localProc == "" {
+		localProc = "local"
+	}
+	procOf := func(ev SpanEvent) string {
+		for _, a := range ev.Attrs {
+			if a.Key == "proc" {
+				if s, ok := a.Value.(string); ok && s != "" {
+					return s
+				}
+			}
+		}
+		return localProc
+	}
+
+	// Assign stable pids: the local process first, then the rest in name
+	// order so repeated exports of the same trace are byte-identical.
+	seen := map[string]bool{}
+	var names []string
+	for _, ev := range evs {
+		if p := procOf(ev); !seen[p] {
+			seen[p] = true
+			names = append(names, p)
+		}
+	}
+	sort.Strings(names)
+	ordered := make([]string, 0, len(names))
+	if seen[localProc] {
+		ordered = append(ordered, localProc)
+	}
+	for _, n := range names {
+		if n != localProc {
+			ordered = append(ordered, n)
+		}
+	}
+	procs := make(map[string]int, len(ordered))
+	out := make([]perfettoEvent, 0, len(evs)+len(ordered))
+	for i, n := range ordered {
+		procs[n] = i + 1
+		out = append(out, perfettoEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   i + 1,
+			Args:  map[string]any{"name": n},
+		})
+	}
+
+	for _, ev := range evs {
+		pe := perfettoEvent{
+			Name:  ev.Name,
+			Phase: "X",
+			TS:    ev.Start.UnixMicro(),
+			Dur:   ev.Dur.Microseconds(),
+			PID:   procs[procOf(ev)],
+		}
+		args := map[string]any{}
+		for _, a := range ev.Attrs {
+			if a.Key == "proc" {
+				continue
+			}
+			if a.Key == "tile" {
+				if t, ok := a.Value.(int64); ok {
+					pe.TID = int(t) + 1
+				}
+			}
+			args[a.Key] = a.Value
+		}
+		if ev.TraceID != "" {
+			args["trace_id"] = ev.TraceID
+		}
+		if ev.SpanID != "" {
+			args["span_id"] = ev.SpanID
+		}
+		if ev.ParentID != "" {
+			args["parent_id"] = ev.ParentID
+		}
+		if len(args) > 0 {
+			pe.Args = args
+		}
+		if ev.Instant {
+			pe.Phase = "i"
+			pe.Dur = 0
+			pe.Scope = "t"
+		}
+		out = append(out, pe)
+	}
+
+	b, err := json.Marshal(perfettoTrace{TraceEvents: out, DisplayUnit: "ms"})
+	if err != nil { // unreachable: all arg values are JSON-encodable scalars
+		return []byte(`{"traceEvents":[]}`)
+	}
+	return b
+}

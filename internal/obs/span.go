@@ -55,20 +55,30 @@ func (s SpanTimer) End() time.Duration {
 
 // ObserveSpan records an externally measured duration under a span name —
 // for regions whose wall time is assembled from parts (e.g. an optimizer
-// iteration minus its diagnostic evaluation).
-func ObserveSpan(name string, d time.Duration) {
+// iteration minus its diagnostic evaluation). start is the region's true
+// wall-clock start, so trace events interleave in real order rather than
+// being back-dated from the observation time.
+func ObserveSpan(name string, start time.Time, d time.Duration) {
 	spanHist(name).Observe(d.Seconds())
 	if traceEnabled.Load() {
-		traceEmit(name, time.Now().Add(-d), d)
+		traceEmit(name, start, d)
 	}
 }
 
-// TraceEvent is one line of the JSONL trace: a completed span with its
-// wall-clock start (µs since the Unix epoch) and duration (µs).
+// TraceEvent is one line of the JSONL trace: a completed span or instant
+// event with its wall-clock start (µs since the Unix epoch) and duration
+// (µs). Flat obs.Span regions carry only name/ts/dur; spans started with
+// StartSpan additionally carry correlation IDs, a phase ("span" or
+// "instant"), and attributes.
 type TraceEvent struct {
-	Name    string `json:"name"`
-	StartUS int64  `json:"ts_us"`
-	DurUS   int64  `json:"dur_us"`
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"ts_us"`
+	DurUS    int64          `json:"dur_us"`
+	TraceID  string         `json:"trace_id,omitempty"`
+	SpanID   string         `json:"span_id,omitempty"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Phase    string         `json:"ph,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
 }
 
 var (
@@ -126,4 +136,26 @@ func traceEmit(name string, start time.Time, d time.Duration) {
 		return
 	}
 	traceEnc.Encode(TraceEvent{Name: name, StartUS: start.UnixMicro(), DurUS: d.Microseconds()})
+}
+
+func traceEmitEvent(ev SpanEvent) {
+	te := TraceEvent{
+		Name:     ev.Name,
+		StartUS:  ev.Start.UnixMicro(),
+		DurUS:    ev.Dur.Microseconds(),
+		TraceID:  ev.TraceID,
+		SpanID:   ev.SpanID,
+		ParentID: ev.ParentID,
+		Phase:    "span",
+		Attrs:    AttrMap(ev.Attrs),
+	}
+	if ev.Instant {
+		te.Phase = "instant"
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if traceEnc == nil {
+		return
+	}
+	traceEnc.Encode(te)
 }

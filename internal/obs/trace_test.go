@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	_, sp := StartSpan(context.Background(), "root")
+	defer sp.End()
+	tc := sp.Context()
+	if !tc.Valid() {
+		t.Fatalf("StartSpan produced invalid trace context %+v", tc)
+	}
+	hdr := tc.Traceparent()
+	got, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if got.TraceID != tc.TraceID {
+		t.Errorf("TraceID %q, want %q", got.TraceID, tc.TraceID)
+	}
+	// The remote end sees our span as its parent.
+	if got.SpanID != tc.SpanID {
+		t.Errorf("SpanID %q, want %q", got.SpanID, tc.SpanID)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // all-zero trace
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("a", 16) + "-01", // non-hex
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16),         // missing flags
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	buf := NewSpanBuffer(0)
+	ctx := ContextWithBuffer(context.Background(), buf)
+
+	ctx, root := StartSpan(ctx, "job", String("job", "j1"))
+	cctx, child := StartSpan(ctx, "tile", Int("tile", 2))
+	Event(cctx, "iter", Int("iter", 1), Float("objective", 0.5))
+	child.End()
+	root.End()
+
+	evs := buf.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(evs), evs)
+	}
+	// Spans land in the buffer at End, so innermost-first.
+	iter, tile, job := evs[0], evs[1], evs[2]
+	if iter.Name != "iter" || tile.Name != "tile" || job.Name != "job" {
+		t.Fatalf("unexpected event order: %q %q %q", iter.Name, tile.Name, job.Name)
+	}
+	if job.TraceID == "" || tile.TraceID != job.TraceID || iter.TraceID != job.TraceID {
+		t.Errorf("trace IDs diverge: job=%q tile=%q iter=%q", job.TraceID, tile.TraceID, iter.TraceID)
+	}
+	if job.ParentID != "" {
+		t.Errorf("root span has parent %q", job.ParentID)
+	}
+	if tile.ParentID != job.SpanID {
+		t.Errorf("tile parent %q, want job span %q", tile.ParentID, job.SpanID)
+	}
+	if iter.ParentID != tile.SpanID {
+		t.Errorf("iter parent %q, want tile span %q", iter.ParentID, tile.SpanID)
+	}
+	if !iter.Instant || iter.SpanID != "" {
+		t.Errorf("instant event malformed: %+v", iter)
+	}
+}
+
+func TestRemoteContextAdoptsTrace(t *testing.T) {
+	_, parent := StartSpan(context.Background(), "dispatch")
+	defer parent.End()
+	tc, err := ParseTraceparent(parent.Context().Traceparent())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := NewSpanBuffer(0)
+	ctx := ContextWithRemote(context.Background(), tc, buf)
+	_, sp := StartSpan(ctx, "worker.tile")
+	sp.End()
+
+	evs := buf.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if evs[0].TraceID != parent.Context().TraceID {
+		t.Errorf("worker span trace %q, want %q", evs[0].TraceID, parent.Context().TraceID)
+	}
+	if evs[0].ParentID != parent.Context().SpanID {
+		t.Errorf("worker span parent %q, want dispatch span %q", evs[0].ParentID, parent.Context().SpanID)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	buf := NewSpanBuffer(0)
+	ctx := ContextWithBuffer(context.Background(), buf)
+	_, sp := StartSpan(ctx, "once")
+	sp.End()
+	sp.End()
+	if n := buf.Len(); n != 1 {
+		t.Fatalf("double End emitted %d events, want 1", n)
+	}
+}
+
+func TestSpanBufferOverflow(t *testing.T) {
+	buf := NewSpanBuffer(4)
+	var hooked int
+	buf.OnEmit = func(SpanEvent) { hooked++ }
+	for i := 0; i < 10; i++ {
+		buf.Emit(SpanEvent{Name: "e"})
+	}
+	if buf.Len() != 4 {
+		t.Errorf("Len %d, want 4", buf.Len())
+	}
+	if buf.Dropped() != 6 {
+		t.Errorf("Dropped %d, want 6", buf.Dropped())
+	}
+	if hooked != 10 {
+		t.Errorf("OnEmit ran %d times, want 10 (dropped events still stream)", hooked)
+	}
+}
+
+// TestTraceConcurrency exercises parallel span production against trace
+// start/stop churn; run with -race.
+func TestTraceConcurrency(t *testing.T) {
+	defer StopTrace()
+	buf := NewSpanBuffer(0)
+	root := ContextWithBuffer(context.Background(), buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, sp := StartSpan(root, "work", Int("goroutine", g))
+				Event(ctx, "tick", Int("i", i))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			StartTrace(io.Discard)
+			StopTrace()
+		}
+	}()
+	wg.Wait()
+	if buf.Len() != 8*50*2 {
+		t.Errorf("buffered %d events, want %d", buf.Len(), 8*50*2)
+	}
+}
+
+// TestObserveSpanTrueStart locks in the fix for back-dated trace events:
+// the emitted ts must be the start the caller measured, not now-minus-dur.
+func TestObserveSpanTrueStart(t *testing.T) {
+	var out syncBuffer
+	StartTrace(&out)
+	start := time.Now().Add(-500 * time.Millisecond)
+	ObserveSpan("region", start, 10*time.Millisecond)
+	StopTrace()
+
+	var ev TraceEvent
+	if err := json.Unmarshal(out.Bytes(), &ev); err != nil {
+		t.Fatalf("trace line %q: %v", out.Bytes(), err)
+	}
+	if ev.StartUS != start.UnixMicro() {
+		t.Errorf("ts_us %d, want the measured start %d", ev.StartUS, start.UnixMicro())
+	}
+	if ev.DurUS != 10_000 {
+		t.Errorf("dur_us %d, want 10000", ev.DurUS)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the concurrent writes the trace
+// encoder may issue.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+func TestJSONLTraceCarriesIDs(t *testing.T) {
+	var out syncBuffer
+	StartTrace(&out)
+	ctx, sp := StartSpan(context.Background(), "traced", String("k", "v"))
+	Event(ctx, "mark")
+	sp.End()
+	StopTrace()
+
+	sc := bufio.NewScanner(bytes.NewReader(out.Bytes()))
+	var evs []TraceEvent
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d trace lines, want 2", len(evs))
+	}
+	mark, span := evs[0], evs[1]
+	if mark.Phase != "instant" || span.Phase != "span" {
+		t.Errorf("phases %q/%q, want instant/span", mark.Phase, span.Phase)
+	}
+	if span.TraceID == "" || span.TraceID != mark.TraceID {
+		t.Errorf("trace IDs %q vs %q", span.TraceID, mark.TraceID)
+	}
+	if mark.ParentID != span.SpanID {
+		t.Errorf("instant parent %q, want %q", mark.ParentID, span.SpanID)
+	}
+	if span.Attrs["k"] != "v" {
+		t.Errorf("span attrs %v, want k=v", span.Attrs)
+	}
+}
+
+func TestPerfettoTrace(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	evs := []SpanEvent{
+		{Name: "serve.job", TraceID: "t1", SpanID: "s1", Start: base, Dur: 3 * time.Second},
+		{Name: "worker.tile", TraceID: "t1", SpanID: "s2", ParentID: "s1",
+			Start: base.Add(time.Second), Dur: time.Second,
+			Attrs: []Attr{String("proc", "http://w1"), Int("tile", 2)}},
+		{Name: "ilt.iter", TraceID: "t1", ParentID: "s2", Start: base.Add(1500 * time.Millisecond),
+			Instant: true, Attrs: []Attr{String("proc", "http://w1"), Int("iter", 7), Float("objective", 0.25)}},
+	}
+	raw := PerfettoTrace("coordinator", evs)
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", doc.DisplayUnit)
+	}
+	// 2 metadata lanes + 3 events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d trace events, want 5:\n%s", len(doc.TraceEvents), raw)
+	}
+
+	byName := map[string]int{}
+	lanes := map[int]string{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Phase == "M" {
+			if ev.Name != "process_name" {
+				t.Errorf("metadata event %d named %q", i, ev.Name)
+			}
+			lanes[ev.PID] = fmt.Sprint(ev.Args["name"])
+			continue
+		}
+		byName[ev.Name] = i
+	}
+	if lanes[1] != "coordinator" {
+		t.Errorf("pid 1 lane %q, want coordinator (local process first)", lanes[1])
+	}
+	if lanes[2] != "http://w1" {
+		t.Errorf("pid 2 lane %q, want http://w1", lanes[2])
+	}
+
+	job := doc.TraceEvents[byName["serve.job"]]
+	if job.Phase != "X" || job.PID != 1 || job.Dur != 3_000_000 {
+		t.Errorf("serve.job event wrong: %+v", job)
+	}
+	if job.Args["trace_id"] != "t1" || job.Args["span_id"] != "s1" {
+		t.Errorf("serve.job args missing IDs: %v", job.Args)
+	}
+	wt := doc.TraceEvents[byName["worker.tile"]]
+	if wt.PID != 2 || wt.TID != 3 {
+		t.Errorf("worker.tile lanes pid=%d tid=%d, want pid=2 tid=3 (tile 2 + 1)", wt.PID, wt.TID)
+	}
+	if wt.Args["parent_id"] != "s1" {
+		t.Errorf("worker.tile args %v, want parent_id s1", wt.Args)
+	}
+	if _, ok := wt.Args["proc"]; ok {
+		t.Errorf("proc attr leaked into args: %v", wt.Args)
+	}
+	it := doc.TraceEvents[byName["ilt.iter"]]
+	if it.Phase != "i" || it.Scope != "t" || it.Dur != 0 {
+		t.Errorf("instant event wrong: %+v", it)
+	}
+	if it.Args["objective"] != 0.25 || it.Args["iter"] != float64(7) {
+		t.Errorf("instant args %v", it.Args)
+	}
+
+	// Determinism: a second export of the same events is byte-identical.
+	if again := PerfettoTrace("coordinator", evs); !bytes.Equal(raw, again) {
+		t.Error("PerfettoTrace output is not deterministic")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	bi := ReadBuild()
+	if bi.GoVersion == "" {
+		t.Error("BuildInfo.GoVersion empty")
+	}
+	if s := bi.String(); !strings.Contains(s, "mosaic") {
+		t.Errorf("BuildInfo.String() = %q", s)
+	}
+	var buf bytes.Buffer
+	WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "mosaic_build_info") {
+		t.Error("/metrics output missing mosaic_build_info")
+	}
+}

@@ -129,6 +129,7 @@ func (s *Server) restoreOne(path string) (*job, error) {
 		priority:  meta.Priority,
 		spec:      meta.Spec,
 		layout:    layout,
+		tel:       newJobTelemetry(),
 		state:     StateQueued,
 		resumed:   true,
 		submitted: meta.SubmittedAt,

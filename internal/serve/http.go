@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"strconv"
@@ -18,6 +19,11 @@ import (
 //	GET  /v1/jobs/{id}         one job's status and progress
 //	GET  /v1/jobs/{id}/result  finished job's result summary (score, EPE...)
 //	GET  /v1/jobs/{id}/mask.pgm  finished job's binary mask as a PGM image
+//	GET  /v1/jobs/{id}/events  live telemetry as SSE (resumable via
+//	                           Last-Event-ID; per-iteration convergence,
+//	                           tile lifecycle, state changes)
+//	GET  /v1/jobs/{id}/trace   assembled span tree as Perfetto trace_event
+//	                           JSON (load in ui.perfetto.dev)
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 //	GET  /healthz              liveness probe
 //	GET  /metrics, /debug/...  the obs debug surface (Prometheus, pprof)
@@ -30,6 +36,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/mask.pgm", s.handleMask)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -121,6 +129,103 @@ func (s *Server) handleMask(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "image/x-portable-graymap")
 	render.WritePGM(w, res.Mask)
+}
+
+// lookup returns the job record behind an id.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// handleEvents streams a job's telemetry as Server-Sent Events. Each frame
+// is `id: <seq>` + `event: <type>` + `data: <JobEvent JSON>`; a client
+// reconnecting with a Last-Event-ID header (or ?after= query parameter)
+// replays everything it missed from the retained ring before going live.
+// The stream ends when the job reaches a terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, ErrNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.ParseInt(v, 10, 64)
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.ParseInt(v, 10, 64)
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := j.tel.subscribe(after)
+	defer cancel()
+	for _, ev := range replay {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	if live == nil {
+		return // log closed: the replay was the whole story
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				return // log closed (job finished) or this subscriber overflowed
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			// Drain whatever is already queued before flushing once.
+			for len(live) > 0 {
+				ev, ok := <-live
+				if !ok {
+					flusher.Flush()
+					return
+				}
+				if err := writeSSE(w, ev); err != nil {
+					return
+				}
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE emits one SSE frame.
+func writeSSE(w http.ResponseWriter, ev JobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}
+
+// handleTrace exports the job's assembled span tree — local spans plus
+// those shipped back from workers — as Chrome/Perfetto trace_event JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, ErrNotFound)
+		return
+	}
+	out := obs.PerfettoTrace("coordinator", j.tel.buf.Events())
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace-`+j.id+`.json"`)
+	w.Write(out)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -133,6 +133,13 @@ type Status struct {
 	Resumed bool   `json:"resumed,omitempty"`
 	Error   string `json:"error,omitempty"`
 
+	// TraceID is the job's distributed trace identifier, set once the job
+	// starts running. GET /v1/jobs/{id}/trace exports the full span tree.
+	TraceID string `json:"trace_id,omitempty"`
+	// Timeline is the tail of the job's telemetry event log; the full
+	// resumable stream is GET /v1/jobs/{id}/events.
+	Timeline []JobEvent `json:"timeline,omitempty"`
+
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -159,6 +166,7 @@ type job struct {
 	priority int
 	spec     JobSpec
 	layout   *mosaic.Layout
+	tel      *jobTelemetry // immutable pointer; has its own lock
 
 	// mu guards everything below. Lock ordering: Server.mu before job.mu,
 	// never the reverse.
@@ -199,6 +207,10 @@ func (j *job) status() *Status {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.FinishedAt = &t
+	}
+	if j.tel != nil {
+		st.TraceID = j.tel.TraceID()
+		st.Timeline = j.tel.timeline()
 	}
 	return st
 }

@@ -167,6 +167,7 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 		priority:  spec.Priority,
 		spec:      spec,
 		layout:    layout,
+		tel:       newJobTelemetry(),
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -174,6 +175,7 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 		return nil, err
 	}
 	mJobsSubmitted.Inc()
+	j.tel.publish("state", map[string]any{"state": string(StateQueued)})
 	return j.status(), nil
 }
 
@@ -276,6 +278,8 @@ func (s *Server) Cancel(id string) (*Status, error) {
 		mJobsCanceled.Inc()
 		j.mu.Unlock()
 		s.mu.Unlock()
+		j.tel.publish("state", map[string]any{"state": string(StateCanceled)})
+		j.tel.closeLog()
 		s.removeCheckpoint(id)
 		return j.status(), nil
 	case j.state == StateRunning:
@@ -359,7 +363,14 @@ func (s *Server) setupFor(cfg mosaic.OpticsConfig) (*mosaic.Setup, error) {
 
 // runJob executes one job to a terminal (or interrupted) state.
 func (s *Server) runJob(ctx context.Context, cancel func(error), j *job) {
-	sp := obs.Span("serve.job")
+	// Root the job's distributed trace: every span and event below —
+	// including spans shipped back from remote workers — collects into the
+	// job's telemetry buffer under one trace ID.
+	ctx = obs.ContextWithBuffer(ctx, j.tel.buf)
+	ctx, sp := obs.StartSpan(ctx, "serve.job",
+		obs.String("job", j.id), obs.String("mode", j.spec.mode().String()))
+	j.tel.setTraceID(sp.Context().TraceID)
+	j.tel.publish("state", map[string]any{"state": string(StateRunning)})
 	mJobsRunning.Set(float64(s.running.Add(1)))
 	start := time.Now()
 	defer func() {
@@ -418,6 +429,14 @@ func (s *Server) runJob(ctx context.Context, cancel func(error), j *job) {
 		j.err = err
 		mJobsFailed.Inc()
 		s.removeCheckpoint(j.id)
+	}
+	ev := map[string]any{"state": string(j.state)}
+	if j.err != nil {
+		ev["error"] = j.err.Error()
+	}
+	j.tel.publish("state", ev)
+	if j.state.terminal() {
+		j.tel.closeLog()
 	}
 }
 
@@ -559,6 +578,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				firstErr = fmt.Errorf("serve: checkpointing queued job %s failed", j.id)
 			}
 		}
+		j.tel.publish("state", map[string]any{"state": string(j.state)})
+		j.tel.closeLog()
 		j.mu.Unlock()
 	}
 	return firstErr

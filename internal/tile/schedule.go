@@ -159,7 +159,9 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 	if err := p.checkWindowSim(ws); err != nil {
 		return nil, err
 	}
-	runSpan := obs.Span("tile.pipeline")
+	ctx, runSpan := obs.StartSpan(ctx, "tile.pipeline",
+		obs.String("layout", p.Layout.Name), obs.Int("tiles", len(p.Tiles)))
+	defer runSpan.End()
 	start := time.Now()
 
 	// Build the shared kernel stacks up front so workers never race the
@@ -239,15 +241,19 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 					continue // adopted from the journal
 				}
 				t := &p.Tiles[i]
-				sp := obs.Span("tile.optimize")
+				tctx, sp := obs.StartSpan(ctx, "tile.optimize",
+					obs.Int("tile", i), obs.Int("col", t.Col), obs.Int("row", t.Row))
 				req := &Request{Plan: p, Tile: t, Sim: ws, Cfg: tcfg, Samples: samples[i]}
-				res, err := p.optimizeTileRetry(ctx, runner, req, opts)
+				res, err := p.optimizeTileRetry(tctx, runner, req, opts)
 				if err != nil {
+					sp.SetAttrs(obs.String("error", err.Error()))
+					sp.End()
 					fail(fmt.Errorf("tile: optimizing tile (%d,%d): %w", t.Col, t.Row, err))
 					return
 				}
 				if opts.Journal != nil {
 					if err := opts.Journal.Record(i, res); err != nil {
+						sp.End()
 						fail(fmt.Errorf("tile: journaling tile (%d,%d): %w", t.Col, t.Row, err))
 						return
 					}
@@ -256,6 +262,9 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 				tileOpts.Inc()
 				tileSeconds.Observe(sp.End().Seconds())
 				n := int(done.Add(1))
+				obs.Event(ctx, "tile.done",
+					obs.Int("tile", i), obs.Int("done", n), obs.Int("total", len(p.Tiles)),
+					obs.Float("objective", res.Objective), obs.Int("iterations", res.Iterations))
 				if opts.OnTile != nil {
 					notifyMu.Lock()
 					opts.OnTile(n, len(p.Tiles), t, res)

@@ -89,6 +89,15 @@ type (
 	MRCViolation = metrics.MRCViolation
 	// SpanTimer is a running obs span; End records its duration.
 	SpanTimer = obs.SpanTimer
+	// TraceContext is a position in a distributed trace (trace/span/parent
+	// IDs); see StartSpan and the traceparent helpers in internal/obs.
+	TraceContext = obs.TraceContext
+	// TraceBuffer collects the span events of one trace for export.
+	TraceBuffer = obs.SpanBuffer
+	// SpanEvent is one completed span or instant event of a trace.
+	SpanEvent = obs.SpanEvent
+	// TraceAttr is a key/value attribute on a span or event.
+	TraceAttr = obs.Attr
 	// Snapshot is an optimizer checkpoint: emitted via Config.OnSnapshot,
 	// consumed via Config.Resume for bit-identical kill/resume.
 	Snapshot = ilt.Snapshot
@@ -151,6 +160,30 @@ func StartTraceFile(path string) error { return obs.StartTraceFile(path) }
 
 // StopTrace ends span tracing started by StartTraceFile.
 func StopTrace() error { return obs.StopTrace() }
+
+// NewTraceBuffer returns a buffer retaining at most max span events
+// (a default cap when max <= 0).
+func NewTraceBuffer(max int) *TraceBuffer { return obs.NewSpanBuffer(max) }
+
+// WithTraceBuffer attaches a trace buffer to ctx: hierarchical spans
+// started under the returned context (the optimizer run, its tiles, any
+// remote dispatches) collect into buf.
+func WithTraceBuffer(ctx context.Context, buf *TraceBuffer) context.Context {
+	return obs.ContextWithBuffer(ctx, buf)
+}
+
+// StartSpan starts a hierarchical, attribute-carrying span under ctx,
+// rooting a new trace when ctx carries none. End the returned span.
+func StartSpan(ctx context.Context, name string, attrs ...TraceAttr) (context.Context, *obs.ActiveSpan) {
+	return obs.StartSpan(ctx, name, attrs...)
+}
+
+// PerfettoTrace renders collected span events as Chrome/Perfetto
+// trace_event JSON (loadable in ui.perfetto.dev). localProc names the
+// lane for events produced by this process.
+func PerfettoTrace(localProc string, evs []SpanEvent) []byte {
+	return obs.PerfettoTrace(localProc, evs)
+}
 
 // DefaultOptics returns the paper's imaging configuration (193 nm, NA
 // 1.35, annular 0.6/0.9, 24 SOCS kernels) on a 512-pixel grid covering the

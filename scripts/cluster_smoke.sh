@@ -5,6 +5,12 @@
 # require the cluster's stitched mask to be byte-identical to the
 # reference — lease reassignment and all. Needs only curl, cmp, and a
 # POSIX shell.
+#
+# The cluster run also exercises the tracing surface: a live SSE
+# subscriber must observe per-iteration telemetry, and the assembled
+# Perfetto trace (written to $TRACE_OUT, default inside the temp dir)
+# must hold every tile's spans — including the reassigned ones — under
+# one job trace ID.
 set -eu
 
 PORT_C="${PORT_C:-18331}"
@@ -98,6 +104,12 @@ echo "cluster-smoke: 2 workers joined"
 ID2=$(submit)
 [ -n "$ID2" ] || { echo "cluster-smoke: cluster submit returned no job id" >&2; exit 1; }
 
+# Subscribe to the job's live event stream for the whole run; the stream
+# closes itself when the job reaches a terminal state.
+curl -sN --max-time 300 "$BASE/v1/jobs/$ID2/events" >"$DIR/sse.log" 2>/dev/null &
+SSE_PID=$!
+PIDS="$PIDS $SSE_PID"
+
 # SIGKILL worker 1 once all four tile leases are granted: with the
 # per-worker caps the fleet balances two tiles onto each worker, so the
 # victim is guaranteed to die holding leases mid-tile.
@@ -131,6 +143,45 @@ curl -fsS "$BASE/metrics" | grep -E 'cluster_tiles_remote_total [1-9]' >/dev/nul
     exit 1
 }
 echo "cluster-smoke: lease reassignment and remote execution confirmed"
+
+# ---- Tracing: the live stream saw the optimizer converge...
+wait "$SSE_PID" 2>/dev/null || true
+grep -q '^event: iteration' "$DIR/sse.log" || {
+    echo "cluster-smoke: SSE subscriber saw no iteration events" >&2
+    cat "$DIR/sse.log" >&2
+    exit 1
+}
+grep -q '"objective"' "$DIR/sse.log" || {
+    echo "cluster-smoke: SSE iteration events carry no objective values" >&2
+    exit 1
+}
+echo "cluster-smoke: live SSE stream delivered per-iteration telemetry"
+
+# ...and the assembled trace is one tree: a single trace ID spanning the
+# coordinator and both workers, with a worker.tile span for every tile
+# even though half of them were reassigned after the SIGKILL.
+TRACE_OUT="${TRACE_OUT:-$DIR/cluster_trace.json}"
+curl -fsS -o "$TRACE_OUT" "$BASE/v1/jobs/$ID2/trace"
+TRACES=$(grep -o '"trace_id":"[0-9a-f]*"' "$TRACE_OUT" | sort -u | wc -l)
+[ "$TRACES" -eq 1 ] || {
+    echo "cluster-smoke: trace holds $TRACES distinct trace IDs, want exactly 1" >&2
+    exit 1
+}
+TILE_LANES=$(grep -o '"name":"worker.tile","ph":"X","ts":[0-9]*,"dur":[0-9]*,"pid":[0-9]*,"tid":[0-9]*' "$TRACE_OUT" \
+    | grep -o '"tid":[0-9]*' | sort -u | wc -l)
+[ "$TILE_LANES" -ge 4 ] || {
+    echo "cluster-smoke: worker.tile spans cover $TILE_LANES tiles, want 4 (reassigned tiles lost their trace)" >&2
+    exit 1
+}
+grep -q '"args":{"name":"http://' "$TRACE_OUT" || {
+    echo "cluster-smoke: trace has no worker process lane" >&2
+    exit 1
+}
+grep -q '"name":"cluster.reassign"' "$TRACE_OUT" || {
+    echo "cluster-smoke: trace records no tile reassignment" >&2
+    exit 1
+}
+echo "cluster-smoke: assembled trace covers all tiles under one trace ID ($TRACE_OUT)"
 
 kill -TERM "$W2_PID" 2>/dev/null || true
 kill -TERM "$COORD_PID"
