@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet staticcheck test build bench serve-smoke cluster-smoke
+.PHONY: check fmt vet staticcheck test build bench bench-compare serve-smoke cluster-smoke
 
 # check is the tier-1 verification: formatting, static analysis, and the
 # full test suite under the race detector.
@@ -48,8 +48,21 @@ BENCH_STAMP := $(shell date +%Y%m%d)
 
 bench:
 	@mkdir -p results
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchtime='$(BENCH_TIME)' -benchmem ./... \
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchtime='$(BENCH_TIME)' -benchmem -p 1 ./... \
 		| tee results/BENCH_$(BENCH_STAMP).txt
 	$(GO) run ./cmd/benchjson < results/BENCH_$(BENCH_STAMP).txt \
 		> results/BENCH_$(BENCH_STAMP).json
 	@echo "wrote results/BENCH_$(BENCH_STAMP).txt and .json"
+
+# bench-compare diffs the two most recent archived JSON benchmark reports
+# (or OLD=... NEW=... overrides) and fails on a >15% ns/op regression.
+bench-compare:
+	@old="$(OLD)"; new="$(NEW)"; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+		set -- $$(ls -1 results/BENCH_*.json 2>/dev/null | sort | tail -2); \
+		old=$${old:-$$1}; new=$${new:-$$2}; \
+	fi; \
+	if [ -z "$$old" ] || [ -z "$$new" ] || [ "$$old" = "$$new" ]; then \
+		echo "bench-compare: need two archived reports (or OLD=... NEW=...)"; exit 2; fi; \
+	echo "comparing $$old -> $$new"; \
+	$(GO) run ./cmd/benchjson -compare "$$old" "$$new"

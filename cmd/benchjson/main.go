@@ -6,15 +6,24 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' . | tee bench.txt | benchjson > bench.json
+//	benchjson -compare old.json new.json
+//
+// Compare mode prints a per-benchmark delta table (ns/op, B/op) for the
+// benchmarks present in both reports and exits nonzero when any shared
+// benchmark regressed by more than -threshold percent in ns/op, so CI can
+// gate on it mechanically while treating noise-level drift as clean.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one benchmark line, e.g.
@@ -86,7 +95,91 @@ func parse(sc *bufio.Scanner) (Report, error) {
 	return rep, sc.Err()
 }
 
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare writes a per-benchmark delta table for the benchmarks shared by
+// old and new, followed by the names only one side has, and reports whether
+// any shared benchmark regressed in ns/op by more than threshold percent.
+// Benchmarks are compared by exact name (including any /sub and -N parts),
+// in new-report order.
+func compare(w io.Writer, oldRep, newRep Report, threshold float64) bool {
+	oldBy := make(map[string]Result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	newNames := make(map[string]bool, len(newRep.Results))
+	regressed := false
+
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	for _, nr := range newRep.Results {
+		newNames[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			continue
+		}
+		note := ""
+		delta := "n/a"
+		if or.NsPerOp > 0 {
+			pct := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if pct > threshold {
+				regressed = true
+				note = fmt.Sprintf("REGRESSION (>%g%%)", threshold)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, note)
+	}
+	tw.Flush()
+	for _, nr := range newRep.Results {
+		if _, ok := oldBy[nr.Name]; !ok {
+			fmt.Fprintf(w, "new only: %s\n", nr.Name)
+		}
+	}
+	for _, or := range oldRep.Results {
+		if !newNames[or.Name] {
+			fmt.Fprintf(w, "missing in new: %s\n", or.Name)
+		}
+	}
+	return regressed
+}
+
 func main() {
+	compareMode := flag.Bool("compare", false, "compare two archived JSON reports: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 15, "ns/op regression percentage above which -compare exits nonzero")
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if compare(os.Stdout, oldRep, newRep, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -46,3 +46,41 @@ func TestParseIgnoresGarbage(t *testing.T) {
 		t.Fatalf("garbage parsed as results: %+v", rep.Results)
 	}
 }
+
+func TestCompare(t *testing.T) {
+	oldRep := Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	newRep := Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1100}, // +10%: within threshold
+		{Name: "BenchmarkB", NsPerOp: 700},  // -30%: improvement
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+	var buf strings.Builder
+	if compare(&buf, oldRep, newRep, 15) {
+		t.Fatalf("flagged regression at +10%%/-30%%:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"BenchmarkA", "+10.0%", "-30.0%", "new only: BenchmarkNew", "missing in new: BenchmarkGone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("unexpected REGRESSION marker:\n%s", out)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldRep := Report{Results: []Result{{Name: "BenchmarkA", NsPerOp: 1000}}}
+	newRep := Report{Results: []Result{{Name: "BenchmarkA", NsPerOp: 1200}}}
+	var buf strings.Builder
+	if !compare(&buf, oldRep, newRep, 15) {
+		t.Fatalf("+20%% not flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("table missing REGRESSION marker:\n%s", buf.String())
+	}
+}

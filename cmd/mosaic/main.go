@@ -39,7 +39,7 @@ func main() {
 	converge := flag.Bool("converge", false, "track full metrics per iteration (slow) and write converge.csv")
 	tileNM := flag.Float64("tile-nm", 0, "shard the layout into core tiles of this pitch in nm (0 = untiled)")
 	haloNM := flag.Float64("halo-nm", 0, "minimum optical halo around each tile core in nm (0 = lambda/NA)")
-	tileWorkers := flag.Int("tile-workers", 0, "concurrent tile optimizations (0 = GOMAXPROCS)")
+	tileWorkers := flag.Int("tile-workers", 0, "core-reservation hint: concurrent tile optimizations, bounded by the compute pool (0 = pool capacity)")
 	out := flag.String("out", "mosaic-out", "output directory")
 	tracePerfetto := flag.String("trace-perfetto", "", "write the run's span tree as Perfetto trace_event JSON to this file")
 	obsFlags := cli.AddObsFlags(flag.CommandLine)
@@ -50,6 +50,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer obsCleanup()
+
+	if *tileWorkers < 0 {
+		log.Fatal(&mosaic.ConfigError{Field: "tile-workers", Reason: fmt.Sprintf("must be >= 0 (0 = compute pool capacity), got %d", *tileWorkers)})
+	}
 
 	layout, err := cli.LoadLayoutArg(*testcase, *layoutPath)
 	if err != nil {

@@ -57,7 +57,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mosaicd: ")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
-	workers := flag.Int("workers", 1, "concurrently running jobs (or concurrent tiles in -worker mode)")
+	workers := flag.Int("workers", 1, "concurrently running jobs (or, in -worker mode, the core-reservation hint for concurrent tiles; 0 = compute pool capacity)")
 	queueLimit := flag.Int("queue", 64, "maximum queued jobs")
 	gridSize := flag.Int("grid", 512, "default simulation grid size (power of two); jobs may override")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for drain checkpoints and tile journals (empty = no fault tolerance)")
@@ -76,6 +76,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer obsCleanup()
+
+	if *workers < 0 {
+		log.Fatal(&mosaic.ConfigError{Field: "workers", Reason: fmt.Sprintf("must be >= 0 (0 = compute pool capacity), got %d", *workers)})
+	}
 
 	if *workerMode {
 		runWorker(*addr, *join, *advertise, *workers, *drainTimeout)

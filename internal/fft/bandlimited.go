@@ -77,25 +77,47 @@ func InverseBandLimited(blk *grid.CField, w, h int, dst *grid.CField) {
 	n := w
 	p := getPlan(n)
 	dst.Zero()
-	// Pruned row pass: inverse-transform the 2k+1 nonzero spectrum rows,
-	// scattering each result into a column of dst so that dst holds the
-	// intermediate in transposed layout and the second pass streams rows.
-	scratch := grid.GetC(n, 1)
-	row := scratch.Data
-	for dy := -k; dy <= k; dy++ {
-		sy := (dy + n) % n
-		for i := range row {
-			row[i] = 0
-		}
-		for dx := -k; dx <= k; dx++ {
-			row[(dx+n)%n] = blk.At(dx+k, dy+k)
-		}
-		transform(row, p, true)
-		for x := 0; x < n; x++ {
-			dst.Data[x*n+sy] = row[x]
+	// Pruned row pass: inverse-transform the 2k+1 nonzero spectrum rows
+	// into a small resident workspace, then scatter the workspace into the
+	// band columns of dst so that dst holds the intermediate in transposed
+	// layout and the second pass streams rows.
+	rows := 2*k + 1
+	ws := grid.GetC(n, rows)
+	rowPass := func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			dy := bi - k
+			row := ws.Row(bi)
+			for i := range row {
+				row[i] = 0
+			}
+			for dx := -k; dx <= k; dx++ {
+				row[(dx+n)%n] = blk.At(dx+k, dy+k)
+			}
+			transform(row, p, true)
 		}
 	}
-	grid.PutC(scratch)
+	if n*n >= parallelElems {
+		par.ForChunks(rows, rowPass)
+	} else {
+		rowPass(0, rows)
+	}
+	// Cache-blocked scatter: walking dst row-major (x outer) writes each
+	// destination row's 2k+1 band entries as two contiguous runs, and the
+	// workspace columns it reads span only 2k+1 cache lines that are
+	// reused across consecutive x. The previous per-band-row scatter
+	// instead made 2k+1 full stride-n passes over dst, touching every
+	// cache line of a 512^2/1024^2 grid once per band row.
+	sy := make([]int, rows)
+	for bi := range sy {
+		sy[bi] = (bi - k + n) % n
+	}
+	for x := 0; x < n; x++ {
+		d := dst.Data[x*n : x*n+n]
+		for bi, s := range sy {
+			d[s] = ws.Data[bi*n+x]
+		}
+	}
+	grid.PutC(ws)
 	// Dense column pass (as rows of the transposed intermediate), with the
 	// 1/(W*H) normalization folded in.
 	inv := complex(1/float64(n*n), 0)
@@ -180,53 +202,33 @@ func bandColumns(ws *grid.CField, k int, blk *grid.CField) {
 
 // ForwardBandLimitedReal computes the central band-limited block of the
 // forward 2-D FFT of the real field f into blk ((2k+1)^2). The dense row
-// pass packs two real rows into one complex transform (rows a and b become
-// a + i*b; conjugate symmetry untangles their spectra), halving its cost,
-// and the column pass prunes to the 2k+1 band columns. f is not modified.
+// pass uses the real-input specialization (realForwardInto: one
+// half-length complex transform plus an untangling butterfly per row,
+// halving its cost with no cross-row coupling or per-pair scratch), and
+// the column pass prunes to the 2k+1 band columns. f is not modified.
 func ForwardBandLimitedReal(f *grid.Field, k int, blk *grid.CField) {
 	checkBlock(blk, f.W, f.H)
 	prunedForward.Inc()
 	ws := grid.GetC(f.W, f.H)
-	pw := getPlan(f.W)
-	n := f.W
-	pairs := (f.H + 1) / 2
-	pairPass := func(lo, hi int) {
-		scratch := grid.GetC(n, 1)
-		z := scratch.Data
-		for pi := lo; pi < hi; pi++ {
-			y := 2 * pi
-			if y+1 == f.H {
-				// Odd trailing row: plain real-input transform.
-				a := f.Row(y)
-				r := ws.Row(y)
-				for x, v := range a {
-					r[x] = complex(v, 0)
-				}
-				transform(r, pw, false)
+	pn := getPlan(f.W)
+	var ph *plan
+	if f.W >= 2 {
+		ph = getPlan(f.W / 2)
+	}
+	rowPass := func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			if ph == nil {
+				// Degenerate 1-wide grid: nothing to transform.
+				ws.Row(y)[0] = complex(f.Row(y)[0], 0)
 				continue
 			}
-			a, b := f.Row(y), f.Row(y+1)
-			for x := range z {
-				z[x] = complex(a[x], b[x])
-			}
-			transform(z, pw, false)
-			// Unpack FFT(a) and FFT(b) from FFT(a + i*b):
-			// A[j] = (Z[j] + conj(Z[n-j]))/2, B[j] = (Z[j] - conj(Z[n-j]))/(2i).
-			ra, rb := ws.Row(y), ws.Row(y+1)
-			for j := 0; j < n; j++ {
-				zj := z[j]
-				zc := z[(n-j)%n]
-				zc = complex(real(zc), -imag(zc))
-				ra[j] = (zj + zc) * 0.5
-				rb[j] = (zj - zc) * complex(0, -0.5)
-			}
+			realForwardInto(ws.Row(y), f.Row(y), pn, ph)
 		}
-		grid.PutC(scratch)
 	}
 	if f.W*f.H >= parallelElems {
-		par.ForChunks(pairs, pairPass)
+		par.ForChunks(f.H, rowPass)
 	} else {
-		pairPass(0, pairs)
+		rowPass(0, f.H)
 	}
 	bandColumns(ws, k, blk)
 	grid.PutC(ws)

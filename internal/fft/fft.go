@@ -90,6 +90,13 @@ func buildPlan(n int) *plan {
 // transform runs an in-place iterative radix-2 FFT over x using the plan's
 // twiddles. inverse selects the conjugate twiddles; scaling by 1/n for the
 // inverse is done by the caller.
+//
+// The first two levels are specialized: their twiddle factors are exactly
+// 1 and -+i, so they reduce to additions and component swaps with no
+// complex multiplies (and no rounding from the Sincos-derived twiddle
+// table). Each remaining level unrolls its k=0 butterfly the same way.
+// Together these drop roughly a quarter of the complex multiplies of the
+// plain radix-2 loop, which is where the per-tile numeric floor lives.
 func transform(x []complex128, p *plan, inverse bool) {
 	n := p.n
 	for i, j := range p.rev {
@@ -97,16 +104,46 @@ func transform(x []complex128, p *plan, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
+	if n >= 2 {
+		// size=2: twiddle is exactly 1.
+		for off := 0; off < n; off += 2 {
+			u, v := x[off], x[off+1]
+			x[off], x[off+1] = u+v, u-v
+		}
+	}
+	if n >= 4 {
+		// size=4: twiddles are exactly 1 and -i (forward) / +i (inverse).
+		if inverse {
+			for off := 0; off < n; off += 4 {
+				u, v := x[off], x[off+2]
+				x[off], x[off+2] = u+v, u-v
+				u, v = x[off+1], x[off+3]
+				v = complex(-imag(v), real(v)) // i * v
+				x[off+1], x[off+3] = u+v, u-v
+			}
+		} else {
+			for off := 0; off < n; off += 4 {
+				u, v := x[off], x[off+2]
+				x[off], x[off+2] = u+v, u-v
+				u, v = x[off+1], x[off+3]
+				v = complex(imag(v), -real(v)) // -i * v
+				x[off+1], x[off+3] = u+v, u-v
+			}
+		}
+	}
 	w := p.wFwd
 	if inverse {
 		w = p.wInv
 	}
-	for size := 2; size <= n; size <<= 1 {
+	for size := 8; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
-			k := 0
-			for off := start; off < start+half; off++ {
+			// k=0 butterfly: twiddle exactly 1.
+			u, v := x[start], x[start+half]
+			x[start], x[start+half] = u+v, u-v
+			k := step
+			for off := start + 1; off < start+half; off++ {
 				u := x[off]
 				v := x[off+half] * w[k]
 				x[off] = u + v

@@ -3,7 +3,6 @@ package ilt
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"mosaic/internal/fft"
 	"mosaic/internal/geom"
@@ -384,50 +383,59 @@ func (o *Optimizer) gradient(st *iterState, mask *grid.Field, models []cornerMod
 			dFdZ.Data[i] *= thetaZ * zv * (1 - zv) * dose
 		}
 
-		// Per-kernel correlation gradients are independent: each worker
-		// chunk accumulates into its own pooled partial, merged under a
-		// mutex, so the reduction allocates nothing in steady state.
-		var mu sync.Mutex
+		// Adjoint pass. Each kernel contributes
+		//   2*w_ki * Re{ IFFT( conj(Kf_ki) . FFT(W .* A_ki) ) }
+		// and the inverse transform is linear, so the per-kernel band
+		// blocks accumulate in the frequency domain and ONE pruned inverse
+		// per corner replaces one per kernel — with GradKernels=8 and
+		// three corners that cuts the iteration's inverse transforms from
+		// 24 to 3. Each worker chunk keeps its forward scratch and partial
+		// band block resident across its kernels (no pool round-trips per
+		// kernel), and the tiny partials merge serially in chunk order, so
+		// the reduction is bit-deterministic regardless of scheduling.
+		k := cs.model.k
+		bw := 2*k + 1
+		n := mask.W
+		parts := make([]*grid.CField, len(cs.model.freqs)) // indexed by chunk lo
 		par.ForChunks(len(cs.model.freqs), func(lo, hi int) {
-			part := grid.Get(mask.W, mask.H).Zero()
+			term := grid.GetC(n, n)
+			blk := grid.GetC(bw, bw)
+			part := grid.GetC(bw, bw).Zero()
 			for ki := lo; ki < hi; ki++ {
-				o.corrGradAccum(part, dFdZ, cs.fields[ki], cs.model.freqs[ki], cs.model.k, 2*cs.model.weights[ki])
+				for i, av := range cs.fields[ki].Data {
+					term.Data[i] = av * complex(dFdZ.Data[i], 0)
+				}
+				fft.ForwardBandLimited(term, k, blk) // term becomes scratch
+				scale := complex(2*cs.model.weights[ki], 0)
+				for i, kv := range cs.model.freqs[ki].Data {
+					part.Data[i] += blk.Data[i] * complex(real(kv), -imag(kv)) * scale
+				}
 			}
-			mu.Lock()
-			grad.Add(part)
-			mu.Unlock()
-			grid.Put(part)
+			grid.PutC(blk)
+			grid.PutC(term)
+			parts[lo] = part
 		})
+		cornerBlk := grid.GetC(bw, bw).Zero()
+		for _, part := range parts {
+			if part == nil {
+				continue
+			}
+			cornerBlk.AddC(part)
+			grid.PutC(part)
+		}
+		field := grid.GetC(n, n)
+		fft.InverseBandLimited(cornerBlk, n, n, field)
+		grid.PutC(cornerBlk)
+		for i, v := range field.Data {
+			grad.Data[i] += real(v)
+		}
+		grid.PutC(field)
 		grid.Put(dFdZ)
 	}
 	if cfg.SmoothWeight > 0 {
 		smoothGradient(grad, mask, cfg.SmoothWeight)
 	}
 	return grad
-}
-
-// corrGradAccum adds scale * Re{ conj(kf) corr (w .* a) } into dst, the
-// contribution of one kernel to dF/dM. Both transform directions are
-// band-limited: the forward only computes the central block (all other
-// frequencies are annihilated by the kernel multiply) and the inverse
-// prunes the zero rows.
-func (o *Optimizer) corrGradAccum(dst, w *grid.Field, a *grid.CField, kf *grid.CField, k int, scale float64) {
-	n := w.W
-	term := grid.GetC(n, n)
-	for i, av := range a.Data {
-		term.Data[i] = av * complex(w.Data[i], 0)
-	}
-	blk := grid.GetC(2*k+1, 2*k+1)
-	fft.ForwardBandLimited(term, k, blk) // term becomes scratch
-	for i, kv := range kf.Data {
-		blk.Data[i] *= complex(real(kv), -imag(kv))
-	}
-	fft.InverseBandLimited(blk, n, n, term) // reuse term as the output field
-	grid.PutC(blk)
-	for i, v := range term.Data {
-		dst.Data[i] += scale * real(v)
-	}
-	grid.PutC(term)
 }
 
 // ipow computes x^k for small non-negative integer k.

@@ -1,7 +1,11 @@
-// Package par provides the minimal data-parallel loop used by the
-// simulator and optimizer: run n independent tasks across up to
-// GOMAXPROCS workers. On a single-core machine it degrades to a plain
-// loop with no goroutine overhead.
+// Package par provides the data-parallel loops used by the simulator and
+// optimizer — run n independent tasks across spare cores — backed by one
+// process-global, work-conserving compute pool (see pool.go). Loops take
+// whatever helper tokens are free and otherwise run inline on the caller,
+// so nested parallelism (tiles over ilt iterations over fft passes) never
+// oversubscribes the machine; coarse outer tasks claim cores first through
+// Reserve. On a single-core machine everything degrades to a plain loop
+// with no goroutine overhead.
 package par
 
 import (
@@ -38,10 +42,12 @@ func call(i int, fn func(int)) (pe *PanicError) {
 	return nil
 }
 
-// For runs fn(i) for every i in [0, n) using up to GOMAXPROCS concurrent
-// workers. It returns when all calls have completed. fn must be safe to
-// call concurrently for distinct i. If any task panics, For re-panics on
-// the caller's goroutine with a *PanicError identifying the task.
+// For runs fn(i) for every i in [0, n), fanning out across however many
+// pool tokens are currently free (at most GOMAXPROCS). It returns when all
+// calls have completed. fn must be safe to call concurrently for distinct
+// i. If any task panics, For re-panics on the caller's goroutine with a
+// *PanicError identifying the first panicking task; the remaining tasks
+// still run to completion first.
 func For(n int, fn func(i int)) {
 	ForN(runtime.GOMAXPROCS(0), n, fn)
 }
@@ -50,8 +56,12 @@ func For(n int, fn func(i int)) {
 // and runs fn(lo, hi) once per chunk, chunks in parallel. It is the
 // worker-local variant of For: each invocation of fn owns its half-open
 // range exclusively, so per-chunk scratch (accumulators, pooled buffers)
-// can be allocated once per chunk instead of once per element. Panics
-// propagate like For.
+// can be allocated once per chunk instead of once per element.
+//
+// The chunk geometry depends only on GOMAXPROCS and n — never on how many
+// pool tokens happen to be free — so per-chunk results (and any caller
+// that merges them in chunk order) are bit-identical whether the chunks
+// ran on one core or many. Panics propagate like For.
 func ForChunks(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -65,8 +75,11 @@ func ForChunks(n int, fn func(lo, hi int)) {
 	})
 }
 
-// ForN is For with an explicit worker bound (useful in tests to force
-// concurrency regardless of GOMAXPROCS).
+// ForN is For with an explicit concurrency bound: at most workers tasks
+// run at once. The bound is an upper limit, not a demand — the loop runs
+// on the caller plus up to workers-1 helper goroutines, each helper backed
+// by a pool token, and degrades gracefully (down to a plain inline loop)
+// when the pool is saturated.
 func ForN(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -74,35 +87,58 @@ func ForN(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	helpers := 0
+	if workers > 1 {
+		helpers = acquireTokens(workers - 1)
+	}
+	if helpers == 0 {
+		// Saturated pool (or workers <= 1): run inline on the caller, in
+		// order. Like the parallel path, a panicking task does not stop
+		// the others; the first panic re-propagates once the loop drains.
+		poolInlineTotal.Inc()
+		var first *PanicError
 		for i := 0; i < n; i++ {
-			if pe := call(i, fn); pe != nil {
-				panic(pe)
+			if pe := call(i, fn); pe != nil && first == nil {
+				first = pe
 			}
+		}
+		if first != nil {
+			panic(first)
 		}
 		return
 	}
+	poolHelpersTotal.Add(int64(helpers))
+
 	var next atomic.Int64
 	var firstPanic atomic.Pointer[PanicError]
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if pe := call(i, fn); pe != nil {
-					// Keep the first panic; a panicking worker stops
-					// claiming tasks while the others drain the range.
-					firstPanic.CompareAndSwap(nil, pe)
-					return
-				}
+	body := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
+			if pe := call(i, fn); pe != nil {
+				// Keep the first panic; a panicking worker stops
+				// claiming tasks while the others drain the range.
+				firstPanic.CompareAndSwap(nil, pe)
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for h := 0; h < helpers; h++ {
+		go func() {
+			// The token MUST return to the pool no matter how the helper
+			// exits — releaseToken runs before wg.Done (LIFO defers), so
+			// by the time ForN returns every helper token is back even if
+			// every task panicked.
+			defer wg.Done()
+			defer releaseToken()
+			body()
 		}()
 	}
+	body() // the caller's own core always participates
 	wg.Wait()
 	if pe := firstPanic.Load(); pe != nil {
 		panic(pe)

@@ -40,8 +40,10 @@ type JobSpec struct {
 	TileNM float64 `json:"tile_nm,omitempty"`
 	// HaloNM overrides the optical guard band of a sharded run.
 	HaloNM float64 `json:"halo_nm,omitempty"`
-	// TileWorkers bounds concurrent tile optimizations inside the job;
-	// 0 means GOMAXPROCS.
+	// TileWorkers is the job's core-reservation hint: how many tiles it
+	// tries to run concurrently, each holding one reservation in the
+	// process-global compute pool; 0 means the pool capacity (GOMAXPROCS).
+	// Negative values are rejected at submission.
 	TileWorkers int `json:"tile_workers,omitempty"`
 
 	// Priority orders the queue: higher runs first, ties in submit order.
@@ -66,6 +68,8 @@ func (sp *JobSpec) validate() error {
 		return fmt.Errorf("grid %d is not a positive power of two", sp.Grid)
 	case sp.TileNM < 0:
 		return fmt.Errorf("tile_nm %g is negative", sp.TileNM)
+	case sp.TileWorkers < 0:
+		return fmt.Errorf("tile_workers %d is negative (0 = compute pool capacity)", sp.TileWorkers)
 	case sp.DeadlineMS < 0:
 		return fmt.Errorf("deadline_ms %d is negative", sp.DeadlineMS)
 	}

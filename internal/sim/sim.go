@@ -8,7 +8,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"mosaic/internal/fft"
 	"mosaic/internal/grid"
@@ -139,7 +138,9 @@ func (s *Simulator) FieldFromSpectrumBand(specBand, kf *grid.CField, k int) *gri
 // I = sum_k w_k |M conv h_k|^2 at the corner's defocus. Dose is NOT applied
 // here; it scales intensity at the resist step. Kernel convolutions run in
 // parallel across available cores, each worker chunk accumulating into its
-// own pooled partial image so the call allocates only the result.
+// own pooled partial image; the partials merge serially in chunk order, so
+// the floating-point sum — and hence the image — is bit-deterministic
+// regardless of how the chunks were scheduled.
 func (s *Simulator) Aerial(mask *grid.Field, c Corner) (*grid.Field, error) {
 	ks, err := s.Kernels(c.DefocusNM)
 	if err != nil {
@@ -148,7 +149,7 @@ func (s *Simulator) Aerial(mask *grid.Field, c Corner) (*grid.Field, error) {
 	defer obs.Span("sim.aerial." + c.spanLabel()).End()
 	spec := s.SpectrumBand(mask, ks.K)
 	img := grid.New(mask.W, mask.H)
-	var mu sync.Mutex
+	parts := make([]*grid.Field, len(ks.Freqs)) // indexed by chunk lo
 	par.ForChunks(len(ks.Freqs), func(lo, hi int) {
 		part := grid.Get(mask.W, mask.H).Zero()
 		for i := lo; i < hi; i++ {
@@ -156,11 +157,15 @@ func (s *Simulator) Aerial(mask *grid.Field, c Corner) (*grid.Field, error) {
 			field.AccumAbs2(part, ks.Weights[i])
 			grid.PutC(field)
 		}
-		mu.Lock()
-		img.Add(part)
-		mu.Unlock()
-		grid.Put(part)
+		parts[lo] = part
 	})
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		img.Add(part)
+		grid.Put(part)
+	}
 	grid.PutC(spec)
 	return img, nil
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"mosaic/internal/grid"
 	"mosaic/internal/ilt"
 	"mosaic/internal/obs"
+	"mosaic/internal/par"
 	"mosaic/internal/sim"
 )
 
@@ -76,8 +76,14 @@ var (
 
 // Options tunes one Plan.Optimize run.
 type Options struct {
-	// Workers bounds the number of tiles optimized concurrently;
-	// 0 means GOMAXPROCS.
+	// Workers is a core-reservation hint: the number of tiles the
+	// scheduler tries to run concurrently, each holding one reservation in
+	// the global compute pool (par.Reserve). 0 means the pool capacity
+	// (GOMAXPROCS). The hint is an upper bound, not a demand — actual
+	// concurrency is bounded by the pool, with queued tile reservations
+	// taking cores ahead of inner (ilt/fft) parallelism, and whatever the
+	// tile level leaves idle is soaked up by those inner loops. Results
+	// are bit-identical for any value.
 	Workers int
 
 	// SeamNM is the width of the raised-cosine cross-fade band centered
@@ -133,7 +139,7 @@ type Result struct {
 // resolveWorkers applies the Options default and tile-count clamp.
 func (p *Plan) resolveWorkers(workers int) int {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = par.Capacity()
 	}
 	if workers > len(p.Tiles) {
 		workers = len(p.Tiles)
@@ -207,6 +213,11 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 	if runner == nil {
 		runner = localRunner{}
 	}
+	// Core reservations only make sense for in-process compute: a remote
+	// runner's workers are I/O-bound dispatchers that block on the network
+	// while the fleet computes, so gating them on local cores would
+	// serialize the fleet behind this machine's GOMAXPROCS.
+	reserve := opts.Runner == nil
 
 	workers := p.resolveWorkers(opts.Workers)
 	ctx, cancel := context.WithCancel(ctx)
@@ -232,6 +243,19 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Admission: each concurrently running tile holds one core
+			// reservation in the global compute pool. Reservations have
+			// priority over inner (ilt/fft) helper tokens, so the tile
+			// level claims cores first; when the hint exceeds the pool,
+			// surplus workers block here and the machine never runs more
+			// tiles than cores. A canceled run abandons the wait.
+			if reserve {
+				res, err := par.Reserve(ctx)
+				if err != nil {
+					return
+				}
+				defer res.Release()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(p.Tiles) || ctx.Err() != nil {

@@ -297,7 +297,13 @@ type TileOptions struct {
 	// tile cores meet. 0 uses half the effective halo; negative forces a
 	// hard cut.
 	SeamNM float64
-	// Workers bounds concurrent tile optimizations; 0 means GOMAXPROCS.
+	// Workers is a core-reservation hint: how many tiles the scheduler
+	// tries to run concurrently, each holding one reservation in the
+	// process-global compute pool. 0 means the pool capacity (GOMAXPROCS).
+	// It is an upper bound, not a demand — actual concurrency never
+	// exceeds the pool, and cores the tile level leaves idle are soaked up
+	// by inner (optimizer/FFT) parallelism. Results are bit-identical for
+	// any value. Negative values are rejected with a *ConfigError.
 	Workers int
 	// OnTile, when non-nil, observes tile completions (for progress).
 	OnTile func(done, total int)
@@ -374,6 +380,9 @@ func (s *Setup) tilePlan(layout *Layout, opts TileOptions) (*tile.Plan, *Simulat
 // optimized concurrently on opts.Workers workers, and stitched into one
 // full-layout mask. ctx cancels a tiled run between tiles.
 func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, opts TileOptions) (*LayoutResult, error) {
+	if opts.Workers < 0 {
+		return nil, &ConfigError{Field: "TileOptions.Workers", Reason: fmt.Sprintf("must be >= 0 (0 = compute pool capacity), got %d", opts.Workers)}
+	}
 	if s.fitsGrid(layout) && (opts.TileNM <= 0 || opts.TileNM >= layout.SizeNM) {
 		res, err := s.OptimizeCtx(ctx, cfg, layout)
 		if err != nil {
