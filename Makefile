@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet staticcheck test build bench bench-compare serve-smoke cluster-smoke
+.PHONY: check fmt vet staticcheck test build bench bench-compare serve-smoke cluster-smoke cache-smoke
 
 # check is the tier-1 verification: formatting, static analysis, and the
 # full test suite under the race detector.
@@ -39,10 +39,17 @@ serve-smoke:
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 
+# cache-smoke runs the same repeated-cell sharded job twice against a
+# mosaicd with a cache directory: the second run must be served from the
+# tile-result cache with a byte-identical mask, and a corrupted on-disk
+# entry must be quarantined and recomputed across a daemon restart.
+cache-smoke:
+	./scripts/cache_smoke.sh
+
 # bench runs the paper-table and convolution-engine benchmarks and archives
 # both a benchstat-compatible text file and a JSON rendering under results/,
 # stamped with today's date.
-BENCH_PATTERN ?= Table2|Table3|Convolve|Smooth|TilePipeline
+BENCH_PATTERN ?= Table2|Table3|Convolve|Smooth|TilePipeline|TileCache
 BENCH_TIME ?= 1s
 BENCH_STAMP := $(shell date +%Y%m%d)
 

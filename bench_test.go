@@ -359,6 +359,76 @@ func BenchmarkTilePipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkTileCacheWarm measures what the content-addressed tile cache
+// buys on a repeated layout: "cold" optimizes the 4-tile B4x4 workload
+// into a fresh cache every iteration (every tile misses), "warm" reuses
+// one primed cache (every tile hits and no optimizer runs). The gap is
+// the per-layout cost the cache removes; hits/op and misses/op are
+// reported so the archived JSON carries the hit rate alongside the
+// timing.
+func BenchmarkTileCacheWarm(b *testing.B) {
+	s := benchSetup(b)
+	layout := tileBenchLayout(b)
+	cfg := DefaultConfig(ModeFast)
+	cfg.MaxIter = 6
+	opts := TileOptions{TileNM: 1024}
+	_, ws, err := s.tilePlan(layout, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range sim.ProcessCorners(cfg.DefocusNM, cfg.DoseDelta) {
+		if _, err := ws.Kernels(c.DefocusNM); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(b *testing.B, o TileOptions) {
+		res, err := s.OptimizeLayout(context.Background(), cfg, layout, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Tiled || len(res.Tiles) != 4 {
+			b.Fatalf("expected a 4-tile run, got tiled=%v tiles=%d", res.Tiled, len(res.Tiles))
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		var hits, misses int64
+		for i := 0; i < b.N; i++ {
+			store, err := OpenTileCache("", 256<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := opts
+			o.Cache = store
+			run(b, o)
+			st := store.Stats()
+			hits += st.Hits
+			misses += st.Misses
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+		b.ReportMetric(float64(misses)/float64(b.N), "misses/op")
+	})
+	b.Run("warm", func(b *testing.B) {
+		store, err := OpenTileCache("", 256<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opts
+		o.Cache = store
+		run(b, o) // prime the cache outside the timer
+		base := store.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, o)
+		}
+		st := store.Stats()
+		if st.Misses != base.Misses {
+			b.Fatalf("warm runs recomputed tiles: misses %d -> %d", base.Misses, st.Misses)
+		}
+		b.ReportMetric(float64(st.Hits-base.Hits)/float64(b.N), "hits/op")
+		b.ReportMetric(0, "misses/op")
+	})
+}
+
 func init() {
 	// Keep the suite deterministic across -benchtime settings: verify the
 	// benchmark grid divides the clip exactly.

@@ -9,9 +9,11 @@
 //	benchjson -compare old.json new.json
 //
 // Compare mode prints a per-benchmark delta table (ns/op, B/op) for the
-// benchmarks present in both reports and exits nonzero when any shared
-// benchmark regressed by more than -threshold percent in ns/op, so CI can
-// gate on it mechanically while treating noise-level drift as clean.
+// benchmarks present in both reports — benchmarks present in only one
+// (added or removed since the old report) are listed in dedicated
+// sections below it — and exits nonzero when any shared benchmark
+// regressed by more than -threshold percent in ns/op, so CI can gate on
+// it mechanically while treating noise-level drift as clean.
 package main
 
 import (
@@ -35,6 +37,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom units reported via b.ReportMetric (for example
+	// the tile cache's hits/op and misses/op), keyed by unit string, so
+	// they survive into the archived JSON instead of being dropped.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the whole run: environment header lines plus every result.
@@ -61,13 +67,18 @@ func parseLine(fields []string) (Result, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return r, true
@@ -108,10 +119,13 @@ func loadReport(path string) (Report, error) {
 }
 
 // compare writes a per-benchmark delta table for the benchmarks shared by
-// old and new, followed by the names only one side has, and reports whether
-// any shared benchmark regressed in ns/op by more than threshold percent.
-// Benchmarks are compared by exact name (including any /sub and -N parts),
-// in new-report order.
+// old and new, then dedicated "added" / "removed" sections for benchmarks
+// present in only one report (with their values, so a rename or a new
+// bench is visible rather than silently dropped or smeared into the delta
+// table), and reports whether any shared benchmark regressed in ns/op by
+// more than threshold percent. Benchmarks are compared by exact name
+// (including any /sub and -N parts), in new-report order; only shared
+// benchmarks can regress the comparison.
 func compare(w io.Writer, oldRep, newRep Report, threshold float64) bool {
 	oldBy := make(map[string]Result, len(oldRep.Results))
 	for _, r := range oldRep.Results {
@@ -141,17 +155,34 @@ func compare(w io.Writer, oldRep, newRep Report, threshold float64) bool {
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, note)
 	}
 	tw.Flush()
+
+	var added, removed []Result
 	for _, nr := range newRep.Results {
 		if _, ok := oldBy[nr.Name]; !ok {
-			fmt.Fprintf(w, "new only: %s\n", nr.Name)
+			added = append(added, nr)
 		}
 	}
 	for _, or := range oldRep.Results {
 		if !newNames[or.Name] {
-			fmt.Fprintf(w, "missing in new: %s\n", or.Name)
+			removed = append(removed, or)
 		}
 	}
+	oneSided(w, "added (not in old report)", added)
+	oneSided(w, "removed (not in new report)", removed)
 	return regressed
+}
+
+// oneSided prints one section of benchmarks present in a single report.
+func oneSided(w io.Writer, title string, rs []Result) {
+	if len(rs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s:\n", title)
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	for _, r := range rs {
+		fmt.Fprintf(tw, "  %s\t%.0f ns/op\t\n", r.Name, r.NsPerOp)
+	}
+	tw.Flush()
 }
 
 func main() {

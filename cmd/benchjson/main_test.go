@@ -63,13 +63,71 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("flagged regression at +10%%/-30%%:\n%s", buf.String())
 	}
 	out := buf.String()
-	for _, want := range []string{"BenchmarkA", "+10.0%", "-30.0%", "new only: BenchmarkNew", "missing in new: BenchmarkGone"} {
+	for _, want := range []string{"BenchmarkA", "+10.0%", "-30.0%",
+		"added (not in old report):", "BenchmarkNew", "removed (not in new report):", "BenchmarkGone"} {
 		if !strings.Contains(out, want) {
-			t.Errorf("table missing %q:\n%s", want, out)
+			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
 	if strings.Contains(out, "REGRESSION") {
 		t.Errorf("unexpected REGRESSION marker:\n%s", out)
+	}
+	// The delta table holds exactly the shared benchmarks: one-sided
+	// entries get their own sections and must not misalign table rows.
+	table := strings.SplitN(out, "\n\n", 2)[0]
+	for _, name := range []string{"BenchmarkNew", "BenchmarkGone"} {
+		if strings.Contains(table, name) {
+			t.Errorf("one-sided benchmark %s leaked into the delta table:\n%s", name, out)
+		}
+	}
+}
+
+func TestCompareOneSidedSectionsCarryValues(t *testing.T) {
+	oldRep := Report{Results: []Result{{Name: "BenchmarkGone", NsPerOp: 50}}}
+	newRep := Report{Results: []Result{{Name: "BenchmarkNew", NsPerOp: 1e12}}}
+	var buf strings.Builder
+	// Disjoint reports: no baseline exists, so nothing can regress, no
+	// matter how slow the added benchmark is.
+	if compare(&buf, oldRep, newRep, 15) {
+		t.Fatalf("disjoint reports reported a regression:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkNew") || !strings.Contains(out, "1000000000000 ns/op") {
+		t.Errorf("added section missing its value:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkGone") || !strings.Contains(out, "50 ns/op") {
+		t.Errorf("removed section missing its value:\n%s", out)
+	}
+}
+
+func TestCompareIdenticalReportsPrintNoSections(t *testing.T) {
+	rep := Report{Results: []Result{{Name: "BenchmarkA", NsPerOp: 100}}}
+	var buf strings.Builder
+	compare(&buf, rep, rep, 15)
+	if strings.Contains(buf.String(), "added") || strings.Contains(buf.String(), "removed") {
+		t.Errorf("empty sections printed headers:\n%s", buf.String())
+	}
+}
+
+func TestParseExtraUnits(t *testing.T) {
+	in := "BenchmarkTileCacheWarm-4  100  1234567 ns/op  5.00 hits/op  1.00 misses/op  2048 B/op  12 allocs/op\n" +
+		"BenchmarkPlain-4  200  99 ns/op\n"
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.NsPerOp != 1234567 || r.BytesPerOp != 2048 || r.AllocsPerOp != 12 {
+		t.Errorf("standard units mis-parsed: %+v", r)
+	}
+	if r.Extra["hits/op"] != 5 || r.Extra["misses/op"] != 1 {
+		t.Errorf("custom units not captured: %v", r.Extra)
+	}
+	if rep.Results[1].Extra != nil {
+		t.Errorf("plain benchmark grew an Extra map: %v", rep.Results[1].Extra)
 	}
 }
 

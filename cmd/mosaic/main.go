@@ -42,6 +42,7 @@ func main() {
 	tileWorkers := flag.Int("tile-workers", 0, "core-reservation hint: concurrent tile optimizations, bounded by the compute pool (0 = pool capacity)")
 	out := flag.String("out", "mosaic-out", "output directory")
 	tracePerfetto := flag.String("trace-perfetto", "", "write the run's span tree as Perfetto trace_event JSON to this file")
+	cacheFlags := cli.AddCacheFlags(flag.CommandLine, 0) // off unless asked for: one-shot runs mostly benefit via -cache-dir
 	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -74,6 +75,13 @@ func main() {
 		log.Fatal(err)
 	}
 	topts := mosaic.TileOptions{TileNM: *tileNM, HaloNM: *haloNM, Workers: *tileWorkers}
+	// Sharded runs check the tile-result cache before optimizing each
+	// window; with -cache-dir a later run of the same (or an overlapping)
+	// layout serves its repeated cells from disk.
+	topts.Cache, err = cacheFlags.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *method != "" {
 		runBaseline(setup, layout, *method, *out)

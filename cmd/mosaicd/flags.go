@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"time"
+
+	"mosaic/internal/cli"
+)
+
+// options is every mosaicd flag destination; defineFlags is separate
+// from main so the flag-docs test can instantiate the flag set and
+// cross-check it against the README table.
+type options struct {
+	addr          string
+	workers       int
+	queue         int
+	grid          int
+	checkpointDir string
+	drainTimeout  time.Duration
+	tileRetries   int
+	worker        bool
+	join          string
+	advertise     string
+	leaseTTL      time.Duration
+	heartbeatTTL  time.Duration
+	cache         *cli.CacheFlags
+	obs           *cli.ObsFlags
+}
+
+// defineFlags registers every mosaicd flag on fs, including the shared
+// cache and observability flag sets.
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	fs.IntVar(&o.workers, "workers", 1, "concurrently running jobs (or, in -worker mode, the core-reservation hint for concurrent tiles; 0 = compute pool capacity)")
+	fs.IntVar(&o.queue, "queue", 64, "maximum queued jobs")
+	fs.IntVar(&o.grid, "grid", 512, "default simulation grid size (power of two); jobs may override")
+	fs.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for drain checkpoints and tile journals (empty = no fault tolerance)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight jobs to checkpoint")
+	fs.IntVar(&o.tileRetries, "tile-retries", 1, "extra attempts a failed tile gets in sharded jobs")
+	fs.BoolVar(&o.worker, "worker", false, "run as a cluster worker serving tile jobs (requires -join)")
+	fs.StringVar(&o.join, "join", "", "coordinator base URL to join in -worker mode, e.g. http://host:8080")
+	fs.StringVar(&o.advertise, "advertise", "", "base URL the coordinator dials for this worker (default: derived from -addr)")
+	fs.DurationVar(&o.leaseTTL, "lease-ttl", 5*time.Minute, "coordinator: how long one dispatched tile may run before reassignment")
+	fs.DurationVar(&o.heartbeatTTL, "heartbeat-ttl", 15*time.Second, "coordinator: how long a silent worker stays in the fleet")
+	o.cache = cli.AddCacheFlags(fs, 256) // jobs share the daemon cache: memory tier on by default
+	o.obs = cli.AddObsFlags(fs)
+	return o
+}

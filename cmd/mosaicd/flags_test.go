@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mosaic/internal/cli"
+)
+
+// readmeFlagTable extracts the flag names documented in the
+// "### mosaicd flags" table of the repo README.
+func readmeFlagTable(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("reading README: %v", err)
+	}
+	_, section, ok := strings.Cut(string(raw), "### mosaicd flags")
+	if !ok {
+		t.Fatal(`README has no "### mosaicd flags" section`)
+	}
+	// The table ends at the next heading.
+	if i := strings.Index(section, "\n#"); i >= 0 {
+		section = section[:i]
+	}
+	row := regexp.MustCompile("(?m)^\\| `-([a-z-]+)` \\|")
+	docs := make(map[string]bool)
+	for _, m := range row.FindAllStringSubmatch(section, -1) {
+		docs[m[1]] = true
+	}
+	if len(docs) == 0 {
+		t.Fatal("README mosaicd flag table has no parseable rows")
+	}
+	return docs
+}
+
+// TestReadmeDocumentsFlags pins the README flag table to the binary:
+// every mosaicd-specific flag must appear in the table, and the table
+// must not name flags that no longer exist. The shared observability
+// flags are documented once in the Observability section instead, so
+// they are exempt here.
+func TestReadmeDocumentsFlags(t *testing.T) {
+	obsOnly := flag.NewFlagSet("obs", flag.ContinueOnError)
+	cli.AddObsFlags(obsOnly)
+	shared := make(map[string]bool)
+	obsOnly.VisitAll(func(f *flag.Flag) { shared[f.Name] = true })
+
+	fs := flag.NewFlagSet("mosaicd", flag.ContinueOnError)
+	defineFlags(fs)
+
+	docs := readmeFlagTable(t)
+	registered := make(map[string]bool)
+	fs.VisitAll(func(f *flag.Flag) {
+		if shared[f.Name] {
+			return
+		}
+		registered[f.Name] = true
+		if !docs[f.Name] {
+			t.Errorf("flag -%s is registered but missing from the README mosaicd flag table", f.Name)
+		}
+	})
+	for name := range docs {
+		if !registered[name] {
+			t.Errorf("README documents -%s but mosaicd does not register it", name)
+		}
+	}
+}

@@ -2,7 +2,10 @@
 // service: submit layouts over HTTP, poll progress, fetch the optimized
 // mask and its contest metrics, cancel jobs. A SIGTERM (or SIGINT) drains
 // gracefully — in-flight jobs checkpoint into -checkpoint-dir and a
-// restarted daemon resumes them bit-identically.
+// restarted daemon resumes them bit-identically. A content-addressed
+// tile-result cache (-cache-mem, plus -cache-dir for a tier that
+// survives restarts) is shared by every sharded job: repeated cells are
+// optimized once and served from the cache afterwards, bit-identically.
 //
 // Usage:
 //
@@ -48,7 +51,6 @@ import (
 	"time"
 
 	"mosaic"
-	"mosaic/internal/cli"
 	"mosaic/internal/cluster"
 	"mosaic/internal/serve"
 )
@@ -56,57 +58,54 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mosaicd: ")
-	addr := flag.String("addr", ":8080", "HTTP listen address")
-	workers := flag.Int("workers", 1, "concurrently running jobs (or, in -worker mode, the core-reservation hint for concurrent tiles; 0 = compute pool capacity)")
-	queueLimit := flag.Int("queue", 64, "maximum queued jobs")
-	gridSize := flag.Int("grid", 512, "default simulation grid size (power of two); jobs may override")
-	checkpointDir := flag.String("checkpoint-dir", "", "directory for drain checkpoints and tile journals (empty = no fault tolerance)")
-	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight jobs to checkpoint")
-	tileRetries := flag.Int("tile-retries", 1, "extra attempts a failed tile gets in sharded jobs")
-	workerMode := flag.Bool("worker", false, "run as a cluster worker serving tile jobs (requires -join)")
-	join := flag.String("join", "", "coordinator base URL to join in -worker mode, e.g. http://host:8080")
-	advertise := flag.String("advertise", "", "base URL the coordinator dials for this worker (default: derived from -addr)")
-	leaseTTL := flag.Duration("lease-ttl", 5*time.Minute, "coordinator: how long one dispatched tile may run before reassignment")
-	heartbeatTTL := flag.Duration("heartbeat-ttl", 15*time.Second, "coordinator: how long a silent worker stays in the fleet")
-	obsFlags := cli.AddObsFlags(flag.CommandLine)
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
 
-	obsCleanup, err := obsFlags.Setup()
+	obsCleanup, err := o.obs.Setup()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer obsCleanup()
 
-	if *workers < 0 {
-		log.Fatal(&mosaic.ConfigError{Field: "workers", Reason: fmt.Sprintf("must be >= 0 (0 = compute pool capacity), got %d", *workers)})
+	if o.workers < 0 {
+		log.Fatal(&mosaic.ConfigError{Field: "workers", Reason: fmt.Sprintf("must be >= 0 (0 = compute pool capacity), got %d", o.workers)})
 	}
 
-	if *workerMode {
-		runWorker(*addr, *join, *advertise, *workers, *drainTimeout)
+	if o.worker {
+		runWorker(o.addr, o.join, o.advertise, o.workers, o.drainTimeout)
 		return
 	}
 
 	coord := cluster.NewCoordinator(cluster.Config{
-		LeaseTTL:     *leaseTTL,
-		HeartbeatTTL: *heartbeatTTL,
+		LeaseTTL:     o.leaseTTL,
+		HeartbeatTTL: o.heartbeatTTL,
 	})
 	defer coord.Close()
 
+	// One cache for the whole daemon: every sharded job of every tenant
+	// shares it, and the lookup runs before the coordinator so warm tiles
+	// never touch the fleet.
+	tileCache, err := o.cache.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	optics := mosaic.DefaultOptics()
-	optics.GridSize = *gridSize
+	optics.GridSize = o.grid
 	srv, err := serve.New(serve.Config{
-		Workers:       *workers,
-		QueueLimit:    *queueLimit,
+		Workers:       o.workers,
+		QueueLimit:    o.queue,
 		Optics:        optics,
-		CheckpointDir: *checkpointDir,
-		TileRetries:   *tileRetries,
+		CheckpointDir: o.checkpointDir,
+		TileRetries:   o.tileRetries,
 		TileRunner:    coord,
+		TileCache:     tileCache,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,8 +118,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("listening on %s (workers=%d grid=%d checkpoint-dir=%q)",
-		ln.Addr(), *workers, *gridSize, *checkpointDir)
+	log.Printf("listening on %s (workers=%d grid=%d checkpoint-dir=%q cache-dir=%q cache-mem=%dMiB)",
+		ln.Addr(), o.workers, o.grid, o.checkpointDir, o.cache.Dir, o.cache.MemMiB)
 
 	select {
 	case err := <-errc:
@@ -131,8 +130,8 @@ func main() {
 	}
 	stop()
 
-	log.Printf("draining (timeout %s)", *drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	log.Printf("draining (timeout %s)", o.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
 		log.Printf("http shutdown: %v", err)

@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/ilt"
+	"mosaic/internal/optics"
+	"mosaic/internal/resist"
+	"mosaic/internal/sim"
+	"mosaic/internal/tile"
+)
+
+// e2ePlan builds a repeated-cell workload for the real pipeline: a
+// 1024 nm layout tiled 2x2 at 512 nm pitch with zero halo (64 px windows
+// stay cheap under -race and keep windows disjoint), the same cell in the
+// SW and NE tiles and the other two tiles empty.
+func e2ePlan(t *testing.T) (*tile.Plan, *sim.Simulator, ilt.Config) {
+	t.Helper()
+	cell := func(x, y float64) geom.Polygon {
+		return geom.Rect{X: x + 160, Y: y + 144, W: 160, H: 96}.Polygon()
+	}
+	l := &geom.Layout{
+		Name:   "repeat-e2e",
+		SizeNM: 1024,
+		Polys:  []geom.Polygon{cell(0, 0), cell(512, 512)},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tile.NewPlan(l, 8, 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WindowPx != 64 || len(p.Tiles) != 4 {
+		t.Fatalf("plan window %d px, %d tiles; want 64 px, 4 tiles", p.WindowPx, len(p.Tiles))
+	}
+
+	oc := optics.Default()
+	oc.GridSize = p.WindowPx
+	oc.PixelNM = p.PixelNM
+	oc.Kernels = 6
+	ws, err := sim.New(oc, resist.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := ws.CalibrateThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Resist.Threshold = thr
+
+	// GradKernels = 1 keeps the gradient reduction single-chunk so runs
+	// are bit-reproducible regardless of GOMAXPROCS.
+	cfg := ilt.DefaultConfig(ilt.ModeFast)
+	cfg.MaxIter = 4
+	cfg.GradKernels = 1
+	cfg.SRAFInit = false
+	return p, ws, cfg
+}
+
+// sameMasks fails unless the stitched full-layout rasters are
+// bit-identical.
+func sameMasks(t *testing.T, a, b *tile.Result) {
+	t.Helper()
+	for i := range a.Mask.Data {
+		if a.Mask.Data[i] != b.Mask.Data[i] {
+			t.Fatalf("stitched Mask differs at pixel %d", i)
+		}
+	}
+	for i := range a.MaskGray.Data {
+		if a.MaskGray.Data[i] != b.MaskGray.Data[i] {
+			t.Fatalf("stitched MaskGray differs at pixel %d", i)
+		}
+	}
+}
+
+// TestOptimizeCachedBitIdentical is the key correctness property of the
+// whole subsystem: a run served (partly, then fully) from the cache is
+// bit-identical to a cold run, and the repeated cell occupies one entry —
+// the second copy never runs the optimizer.
+func TestOptimizeCachedBitIdentical(t *testing.T) {
+	p, ws, cfg := e2ePlan(t)
+	ctx := context.Background()
+	// Workers=1 makes the hit/miss split deterministic (no flight tier).
+	cold, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := mustOpen(t, Options{})
+	warm, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1, Runner: NewRunner(store, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMasks(t, cold, warm)
+	st := store.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("first cached run stats %+v: want the repeated cell to cost 1 miss + 1 hit", st)
+	}
+	if warm.Tiles[0] != warm.Tiles[3] {
+		t.Fatal("SW and NE tiles did not share one cache entry")
+	}
+	// The repeated cell's cached bits equal what a cold optimization of
+	// the second copy produced — the acceptance property, per tile.
+	for i := range cold.Tiles[3].MaskGray.Data {
+		if cold.Tiles[3].MaskGray.Data[i] != warm.Tiles[3].MaskGray.Data[i] {
+			t.Fatalf("cached NE tile differs from its cold optimization at pixel %d", i)
+		}
+	}
+
+	// Fully warm: every non-empty tile is a hit, nothing recomputes.
+	warm2, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1, Runner: NewRunner(store, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMasks(t, cold, warm2)
+	if st := store.Stats(); st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("fully warm run stats %+v: want 0 new misses, 2 new hits", st)
+	}
+}
+
+// failingRunner trips the test if the scheduler ever reaches it.
+type failingRunner struct{ t *testing.T }
+
+func (f *failingRunner) RunTile(context.Context, *tile.Request) (*ilt.Result, error) {
+	f.t.Error("runner invoked for a journaled tile")
+	return nil, errors.New("should not run")
+}
+
+// TestJournaledTilesBypassCache pins the journal/cache precedence: tiles
+// a journal already holds are adopted before the runner is consulted, so
+// a resumed run neither re-optimizes nor re-persists them — the cache
+// sees no traffic at all.
+func TestJournaledTilesBypassCache(t *testing.T) {
+	p, ws, cfg := e2ePlan(t)
+	ctx := context.Background()
+	j := tile.NewMemJournal()
+	cold, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := mustOpen(t, Options{})
+	resumed, err := p.Optimize(ctx, ws, cfg, tile.Options{
+		Workers: 1,
+		Journal: j,
+		Runner:  NewRunner(store, &failingRunner{t}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMasks(t, cold, resumed)
+	if st := store.Stats(); st != (Stats{}) {
+		t.Fatalf("journaled resume produced cache traffic: %+v", st)
+	}
+}
+
+// TestCacheHitsStillJournaled is the other direction: a tile served from
+// the cache goes through the scheduler's normal completion path, so the
+// journal records it and a later resume works without cache or compute.
+func TestCacheHitsStillJournaled(t *testing.T) {
+	p, ws, cfg := e2ePlan(t)
+	ctx := context.Background()
+
+	store := mustOpen(t, Options{})
+	if _, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1, Runner: NewRunner(store, nil)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm cache, fresh journal: every tile is served without optimizing,
+	// yet every tile must land in the journal.
+	j := tile.NewMemJournal()
+	warm, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1, Journal: j, Runner: NewRunner(store, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("warm journaling run stats %+v: want +2 hits, +0 misses", st)
+	}
+	prior, err := j.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != len(p.Tiles) {
+		t.Fatalf("journal holds %d of %d tiles after a cache-served run", len(prior), len(p.Tiles))
+	}
+
+	// The journal alone now reconstructs the run bit-identically.
+	resumed, err := p.Optimize(ctx, ws, cfg, tile.Options{
+		Workers: 1,
+		Journal: j,
+		Runner:  &failingRunner{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMasks(t, warm, resumed)
+}
+
+// TestOptimizeCachePersistsAcrossStores is the durable tier through the
+// real pipeline: a second process (a fresh Store over the same directory)
+// serves the whole layout from disk, bit-identically.
+func TestOptimizeCachePersistsAcrossStores(t *testing.T) {
+	p, ws, cfg := e2ePlan(t)
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	s1 := mustOpen(t, Options{Dir: dir})
+	first, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1, Runner: NewRunner(s1, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	second, err := p.Optimize(ctx, ws, cfg, tile.Options{Workers: 1, Runner: NewRunner(s2, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMasks(t, first, second)
+	if st := s2.Stats(); st.Misses != 0 || st.Hits != 2 {
+		t.Fatalf("restarted-store stats %+v: want everything off disk", st)
+	}
+}

@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"context"
+
+	"mosaic/internal/ilt"
+	"mosaic/internal/obs"
+	"mosaic/internal/tile"
+)
+
+// Runner wraps any tile.Runner with a content-addressed cache: a hit
+// decodes the stored mask and skips optimization entirely (for a remote
+// inner runner that also saves the network round-trip — the lookup runs
+// on the coordinator, before dispatch); a miss runs the inner runner and
+// persists its result. The scheduler sees an ordinary Runner, so
+// retries, journaling, stitching, and the bit-identity guarantee are
+// untouched.
+type Runner struct {
+	store *Store
+	inner tile.Runner
+}
+
+// NewRunner wraps inner with store. A nil inner runs tiles in-process
+// (tile.RunWindow), exactly like the scheduler's default; a nil store
+// returns inner's results uncached.
+func NewRunner(store *Store, inner tile.Runner) *Runner {
+	return &Runner{store: store, inner: inner}
+}
+
+// LocalCompute reports whether the wrapped runner computes on this
+// machine's cores, forwarding the scheduler's core-reservation decision
+// through the decorator (see tile.LocalComputer).
+func (r *Runner) LocalCompute() bool {
+	return r.inner == nil || tile.IsLocalCompute(r.inner)
+}
+
+// RunTile serves the request from the cache when possible. Empty windows
+// bypass the cache entirely — RunWindow short-circuits them to a shared
+// all-dark mask far cheaper than a lookup, and counting them as hits
+// would inflate the hit rate on sparse layouts.
+func (r *Runner) RunTile(ctx context.Context, req *tile.Request) (*ilt.Result, error) {
+	if r.store == nil || len(req.Tile.Layout.Polys) == 0 {
+		return r.runInner(ctx, req)
+	}
+	key := RequestKey(req)
+	res, tier, err := r.store.GetOrCompute(ctx, key, func() (*ilt.Result, error) {
+		return r.runInner(ctx, req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	obs.CurrentSpan(ctx).SetAttrs(obs.String("tile.cache", tier))
+	return res, nil
+}
+
+func (r *Runner) runInner(ctx context.Context, req *tile.Request) (*ilt.Result, error) {
+	if r.inner != nil {
+		return r.inner.RunTile(ctx, req)
+	}
+	return tile.RunWindow(ctx, req.Sim, req.Cfg, req.Tile.Layout, req.Plan.WindowPx, req.Plan.PixelNM, req.Samples)
+}

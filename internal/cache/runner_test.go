@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/ilt"
+	"mosaic/internal/optics"
+	"mosaic/internal/resist"
+	"mosaic/internal/sim"
+	"mosaic/internal/tile"
+)
+
+// countingRunner is a fake inner runner standing in for the cluster
+// coordinator: no LocalComputer, every call counted.
+type countingRunner struct {
+	calls atomic.Int64
+	res   *ilt.Result
+}
+
+func (c *countingRunner) RunTile(ctx context.Context, req *tile.Request) (*ilt.Result, error) {
+	c.calls.Add(1)
+	return c.res, nil
+}
+
+// localFake is a fake in-process runner declaring itself via LocalComputer.
+type localFake struct{ countingRunner }
+
+func (*localFake) LocalCompute() bool { return true }
+
+func TestRunnerServesRepeatsFromCache(t *testing.T) {
+	inner := &countingRunner{res: fakeResult(8, 1)}
+	r := NewRunner(mustOpen(t, Options{}), inner)
+	bg := context.Background()
+
+	a := digestReq(nil)
+	// Same content at a different layout position: Name and plan
+	// coordinates differ, the window-local inputs do not.
+	b := digestReq(func(q *tile.Request) {
+		q.Tile.Layout.Name = "layout_t5x5"
+		q.Tile.Index, q.Tile.Col, q.Tile.Row = 30, 5, 5
+	})
+	// Genuinely different geometry.
+	c := digestReq(func(q *tile.Request) { q.Tile.Layout.Polys[0][0].X += 16 })
+
+	resA, err := r.RunTile(bg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := r.RunTile(bg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA != resB {
+		t.Fatal("translation-shifted repeat not served from the cache")
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("inner runner ran %d times for one unique tile, want 1", got)
+	}
+	if _, err := r.RunTile(bg, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("inner runner ran %d times for two unique tiles, want 2", got)
+	}
+}
+
+// TestRunnerEmptyWindowBypassesCache: windows with no geometry are the
+// scheduler's short-circuit, not cache traffic — no lookup, no entry, no
+// hit-rate inflation on sparse layouts.
+func TestRunnerEmptyWindowBypassesCache(t *testing.T) {
+	store := mustOpen(t, Options{})
+	inner := &countingRunner{res: fakeResult(8, 2)}
+	r := NewRunner(store, inner)
+	req := digestReq(func(q *tile.Request) { q.Tile.Layout.Polys = nil })
+
+	for i := 0; i < 2; i++ {
+		if _, err := r.RunTile(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("empty window went through the cache: %d inner calls, want 2", got)
+	}
+	if st := store.Stats(); st != (Stats{}) {
+		t.Fatalf("empty window left cache traffic behind: %+v", st)
+	}
+}
+
+// TestRunnerNilStorePassThrough: a disabled cache is a transparent
+// decorator.
+func TestRunnerNilStorePassThrough(t *testing.T) {
+	inner := &countingRunner{res: fakeResult(8, 3)}
+	r := NewRunner(nil, inner)
+	req := digestReq(nil)
+	for i := 0; i < 2; i++ {
+		res, err := r.RunTile(context.Background(), req)
+		if err != nil || res != inner.res {
+			t.Fatalf("pass-through call %d: res=%p err=%v", i, res, err)
+		}
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("nil store cached anyway: %d inner calls, want 2", got)
+	}
+}
+
+// TestRunnerLocalCompute pins the core-reservation forwarding: the
+// decorator is local exactly when what it wraps is, so wrapping the
+// in-process runner keeps the scheduler's reservations and wrapping the
+// coordinator keeps them off.
+func TestRunnerLocalCompute(t *testing.T) {
+	store := mustOpen(t, Options{})
+	cases := []struct {
+		name  string
+		inner tile.Runner
+		want  bool
+	}{
+		{"nil inner (in-process default)", nil, true},
+		{"remote-like inner", &countingRunner{}, false},
+		{"declared-local inner", &localFake{}, true},
+	}
+	for _, tc := range cases {
+		r := NewRunner(store, tc.inner)
+		if got := r.LocalCompute(); got != tc.want {
+			t.Errorf("%s: LocalCompute() = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := tile.IsLocalCompute(r); got != tc.want {
+			t.Errorf("%s: tile.IsLocalCompute = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunnerNilInnerRunsWindow: with no inner runner the decorator falls
+// back to tile.RunWindow; for an empty window that is the shared all-dark
+// mask, needing no forward model at all.
+func TestRunnerNilInnerRunsWindow(t *testing.T) {
+	r := NewRunner(mustOpen(t, Options{}), nil)
+	req := &tile.Request{
+		Plan: &tile.Plan{WindowPx: 16, PixelNM: 8},
+		Tile: &tile.Tile{Layout: &geom.Layout{Name: "empty", SizeNM: 128}},
+		Sim:  &sim.Simulator{Cfg: optics.Default(), Resist: resist.Default()},
+		Cfg:  ilt.DefaultConfig(ilt.ModeFast),
+	}
+	res, err := r.RunTile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mask == nil || res.Mask.W != 16 {
+		t.Fatalf("empty window result: %+v", res)
+	}
+	for _, v := range res.Mask.Data {
+		if v != 0 {
+			t.Fatal("empty window produced a non-dark mask")
+		}
+	}
+}

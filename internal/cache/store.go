@@ -1,0 +1,249 @@
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"mosaic/internal/ilt"
+	"mosaic/internal/obs"
+)
+
+// Cache metrics: lookups served from the store (any tier), lookups that
+// ran the optimizer, memory-tier evictions, disk entries quarantined as
+// corrupt, and the memory tier's current footprint.
+var (
+	mHits      = obs.NewCounter("cache_hits_total")
+	mMisses    = obs.NewCounter("cache_misses_total")
+	mEvictions = obs.NewCounter("cache_evictions_total")
+	mCorrupt   = obs.NewCounter("cache_corrupt_total")
+	mBytes     = obs.NewGauge("cache_bytes_total")
+	mEntries   = obs.NewGauge("cache_entries_total")
+)
+
+// DefaultMemBytes is the memory-tier budget when Options.MemBytes is 0.
+const DefaultMemBytes = 256 << 20
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the durable tier's directory, created if absent; "" keeps the
+	// store memory-only.
+	Dir string
+	// MemBytes is the memory tier's byte budget. 0 selects
+	// DefaultMemBytes; negative disables the memory tier (disk-only).
+	MemBytes int64
+}
+
+// Store is a two-tier content-addressed tile-result store. All methods
+// are safe for concurrent use; a Store is meant to be shared across
+// every job of a process.
+type Store struct {
+	dir       string
+	memBudget int64
+
+	mu       sync.Mutex
+	lru      *list.List // of *memEntry; front = most recently used
+	byKey    map[Key]*list.Element
+	memBytes int64
+	flights  map[Key]*flight
+	stats    Stats
+}
+
+// Stats is a point-in-time snapshot of one store's activity. The
+// process-wide cache_* metrics aggregate across stores; Stats is
+// per-store, for tests and status endpoints.
+type Stats struct {
+	Hits      int64 // lookups served without running the optimizer
+	Misses    int64 // lookups that ran the optimizer
+	Evictions int64 // memory-tier entries dropped for the byte budget
+	Corrupt   int64 // disk entries quarantined
+	Entries   int   // memory-tier entries resident now
+	Bytes     int64 // memory-tier bytes resident now
+}
+
+// memEntry is one memory-tier resident.
+type memEntry struct {
+	key   Key
+	res   *ilt.Result
+	bytes int64
+}
+
+// flight is one in-progress computation; concurrent requests for the
+// same key wait on it instead of duplicating the work.
+type flight struct {
+	done chan struct{}
+	res  *ilt.Result
+	err  error
+}
+
+// Open creates a store. With a non-empty Dir the directory is created;
+// failure to create it is the only hard error a store ever returns —
+// everything at lookup time degrades to a recompute.
+func Open(opts Options) (*Store, error) {
+	budget := opts.MemBytes
+	switch {
+	case budget == 0:
+		budget = DefaultMemBytes
+	case budget < 0:
+		budget = 0
+	}
+	s := &Store{
+		dir:       opts.Dir,
+		memBudget: budget,
+		lru:       list.New(),
+		byKey:     make(map[Key]*list.Element),
+		flights:   make(map[Key]*flight),
+	}
+	if err := s.initDir(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	st.Bytes = s.memBytes
+	return st
+}
+
+// Tier labels for the span attribute and GetOrCompute's report.
+const (
+	TierMem    = "mem"    // served from the memory tier
+	TierDisk   = "disk"   // served from the disk tier (promoted to memory)
+	TierFlight = "flight" // served by waiting on a concurrent computation
+	TierMiss   = "miss"   // computed
+)
+
+// GetOrCompute returns the result for key, running compute at most once
+// across concurrent callers when the store has no entry. The returned
+// tier says how the call was served (TierMem/TierDisk/TierFlight on a
+// hit, TierMiss when compute ran). Compute errors are never cached: the
+// leader's error is reported to it, and waiters retry the lookup
+// themselves (so one canceled job cannot poison another job waiting on
+// the same key). ctx bounds only this caller's wait.
+func (s *Store) GetOrCompute(ctx context.Context, key Key, compute func() (*ilt.Result, error)) (*ilt.Result, string, error) {
+	for {
+		s.mu.Lock()
+		if el, ok := s.byKey[key]; ok {
+			s.lru.MoveToFront(el)
+			res := el.Value.(*memEntry).res
+			s.stats.Hits++
+			s.mu.Unlock()
+			mHits.Inc()
+			return res, TierMem, nil
+		}
+		if f, ok := s.flights[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, "", ctx.Err()
+			}
+			if f.err != nil {
+				// The leader failed — its error may be its own
+				// cancellation. Loop and try again (likely becoming the
+				// leader); our own cancellation exits above.
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			mHits.Inc()
+			return f.res, TierFlight, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+
+		res, tier, err := s.lead(key, compute)
+		f.res, f.err = res, err
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		return res, tier, err
+	}
+}
+
+// lead is the flight leader's path: probe the disk tier, then compute
+// and persist. Exactly one goroutine runs it per in-flight key.
+func (s *Store) lead(key Key, compute func() (*ilt.Result, error)) (*ilt.Result, string, error) {
+	if res, ok := s.diskGet(key); ok {
+		s.memAdd(key, res)
+		s.mu.Lock()
+		s.stats.Hits++
+		s.mu.Unlock()
+		mHits.Inc()
+		return res, TierDisk, nil
+	}
+	res, err := compute()
+	if err != nil {
+		return nil, "", err
+	}
+	s.Put(key, res)
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	mMisses.Inc()
+	return res, TierMiss, nil
+}
+
+// Put stores a result under key in both tiers. Results entering the
+// cache are shared across future lookups, so callers must treat them as
+// immutable from here on (the scheduler and stitcher already do).
+func (s *Store) Put(key Key, res *ilt.Result) {
+	if res == nil || res.MaskGray == nil {
+		return
+	}
+	s.memAdd(key, res)
+	s.diskPut(key, res)
+}
+
+// resultBytes estimates a result's memory-tier footprint: the two mask
+// rasters dominate.
+func resultBytes(res *ilt.Result) int64 {
+	n := int64(128) // struct + bookkeeping overhead
+	if res.MaskGray != nil {
+		n += 8 * int64(len(res.MaskGray.Data))
+	}
+	if res.Mask != nil {
+		n += 8 * int64(len(res.Mask.Data))
+	}
+	return n
+}
+
+// memAdd inserts a result into the memory tier, evicting from the LRU
+// tail to stay within budget. Results larger than the whole budget are
+// simply not kept resident.
+func (s *Store) memAdd(key Key, res *ilt.Result) {
+	if s.memBudget == 0 {
+		return
+	}
+	e := &memEntry{key: key, res: res, bytes: resultBytes(res)}
+	if e.bytes > s.memBudget {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.byKey[key] = s.lru.PushFront(e)
+	s.memBytes += e.bytes
+	for s.memBytes > s.memBudget {
+		back := s.lru.Back()
+		victim := back.Value.(*memEntry)
+		s.lru.Remove(back)
+		delete(s.byKey, victim.key)
+		s.memBytes -= victim.bytes
+		s.stats.Evictions++
+		mEvictions.Inc()
+	}
+	mEntries.Set(float64(s.lru.Len()))
+	mBytes.Set(float64(s.memBytes))
+}

@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"mosaic/internal/cache"
+)
+
+// CacheFlags is the tile-result cache flag pair shared by the commands
+// that run tiled optimizations:
+//
+//	-cache-dir DIR   durable cache directory (sharded entries, atomic
+//	                 writes, corrupt entries quarantined and recomputed)
+//	-cache-mem MIB   in-process cache byte budget in MiB; 0 disables the
+//	                 memory tier
+//
+// Caching is off entirely when both are unset; -cache-dir alone gives a
+// disk-only cache only if the command's memory default is 0.
+type CacheFlags struct {
+	Dir    string
+	MemMiB int64
+}
+
+// AddCacheFlags registers the cache flags on fs. defaultMemMiB seeds
+// -cache-mem: the daemon defaults the memory tier on (jobs share it),
+// one-shot tools default it off.
+func AddCacheFlags(fs *flag.FlagSet, defaultMemMiB int64) *CacheFlags {
+	f := &CacheFlags{}
+	fs.StringVar(&f.Dir, "cache-dir", "", "durable tile-result cache directory (empty = no disk tier)")
+	fs.Int64Var(&f.MemMiB, "cache-mem", defaultMemMiB, "in-process tile-result cache budget in MiB (0 = no memory tier)")
+	return f
+}
+
+// Open builds the store the parsed flags describe, or nil when caching
+// is off.
+func (f *CacheFlags) Open() (*cache.Store, error) {
+	if f.Dir == "" && f.MemMiB <= 0 {
+		return nil, nil
+	}
+	mem := f.MemMiB << 20
+	if f.MemMiB <= 0 {
+		mem = -1 // disk-only
+	}
+	c, err := cache.Open(cache.Options{Dir: f.Dir, MemBytes: mem})
+	if err != nil {
+		return nil, fmt.Errorf("opening tile cache: %w", err)
+	}
+	return c, nil
+}

@@ -176,6 +176,7 @@ func (b *SpanBuffer) Dropped() int64 {
 
 type traceCtxKey struct{}
 type spanBufKey struct{}
+type activeSpanKey struct{}
 
 // ContextWithBuffer attaches a SpanBuffer to ctx. Spans started under the
 // returned context (and their descendants) are collected into buf.
@@ -235,7 +236,19 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 		start: time.Now(),
 		attrs: attrs,
 	}
-	return context.WithValue(ctx, traceCtxKey{}, tc), sp
+	ctx = context.WithValue(ctx, traceCtxKey{}, tc)
+	return context.WithValue(ctx, activeSpanKey{}, sp), sp
+}
+
+// CurrentSpan returns the innermost span started (in this process) under
+// ctx, or nil. It lets a layer annotate the span it runs inside — e.g.
+// the cache decorator stamping tile.cache onto the scheduler's
+// tile.optimize span — without threading the *ActiveSpan through every
+// interface. Annotate only from the goroutine tree that will end the
+// span; SetAttrs is not synchronized against End.
+func CurrentSpan(ctx context.Context) *ActiveSpan {
+	sp, _ := ctx.Value(activeSpanKey{}).(*ActiveSpan)
+	return sp
 }
 
 // Context returns the span's trace position (for stamping onto wire

@@ -91,6 +91,12 @@ type Config struct {
 	// a cluster.Coordinator dispatching to a worker fleet. Nil runs tiles
 	// in-process.
 	TileRunner mosaic.TileRunner
+	// TileCache, when non-nil, is shared by every sharded job: tiles
+	// whose content address was optimized before — by any job, any
+	// tenant, any earlier process when the cache has a disk tier — are
+	// served from the cache instead of being optimized (or dispatched to
+	// the cluster). See mosaic.OpenTileCache.
+	TileCache *mosaic.TileCache
 }
 
 // Server owns the job queue and its workers.
@@ -474,6 +480,7 @@ func (s *Server) execute(ctx context.Context, j *job) (*mosaic.LayoutResult, *mo
 		Retries:      s.cfg.TileRetries,
 		RetryBackoff: s.cfg.TileRetryBackoff,
 		Runner:       s.cfg.TileRunner,
+		Cache:        s.cfg.TileCache,
 		OnTile: func(done, total int) {
 			j.mu.Lock()
 			j.prog.TilesDone = done

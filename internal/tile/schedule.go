@@ -39,6 +39,28 @@ type Runner interface {
 	RunTile(ctx context.Context, req *Request) (*ilt.Result, error)
 }
 
+// LocalComputer is an optional Runner refinement reporting whether tiles
+// run on this machine's cores. The scheduler gates its per-tile core
+// reservations on it: a remote dispatcher (the cluster coordinator) is
+// I/O-bound and must not be serialized behind local GOMAXPROCS, while a
+// decorator wrapping the in-process runner (the result cache) still
+// needs the reservations. Runners that do not implement it are assumed
+// remote, preserving the previous non-nil-Runner behavior.
+type LocalComputer interface {
+	LocalCompute() bool
+}
+
+// IsLocalCompute reports whether r computes tiles in-process: the
+// scheduler's default runner, or any Runner declaring so via
+// LocalComputer.
+func IsLocalCompute(r Runner) bool {
+	if _, ok := r.(localRunner); ok {
+		return true
+	}
+	lc, ok := r.(LocalComputer)
+	return ok && lc.LocalCompute()
+}
+
 // localRunner optimizes tiles in-process on the window simulator.
 type localRunner struct{}
 
@@ -46,15 +68,38 @@ func (localRunner) RunTile(ctx context.Context, req *Request) (*ilt.Result, erro
 	return RunWindow(ctx, req.Sim, req.Cfg, req.Tile.Layout, req.Plan.WindowPx, req.Plan.PixelNM, req.Samples)
 }
 
+func (localRunner) LocalCompute() bool { return true }
+
+// emptyResults shares one all-dark result per window size (keyed by
+// windowPx). Sparse full-chip layouts are mostly empty windows, and
+// allocating two windowPx² grids per empty tile dwarfed the cost of
+// skipping the optimization; every empty window of a size now serves the
+// same immutable result, like a degenerate-key cache entry. Safe because
+// tile results are consumed read-only (stitching, journaling, and the
+// codecs never write into them).
+var emptyResults sync.Map // int -> *ilt.Result
+
+// emptyWindowResult returns the shared all-dark result for a window size.
+func emptyWindowResult(windowPx int) *ilt.Result {
+	if r, ok := emptyResults.Load(windowPx); ok {
+		return r.(*ilt.Result)
+	}
+	z := grid.New(windowPx, windowPx)
+	r, _ := emptyResults.LoadOrStore(windowPx, &ilt.Result{Mask: z, MaskGray: z.Clone()})
+	return r.(*ilt.Result)
+}
+
 // RunWindow runs the clip-level optimizer on one halo-padded window. It is
 // the single execution path shared by the local runner and remote workers,
 // so a tile produces the same bits wherever it runs. Windows with no
-// geometry short-circuit to an all-dark mask: nothing prints there, and
-// sparse full-chip layouts are mostly empty windows.
+// geometry short-circuit to a shared all-dark mask: nothing prints there,
+// and sparse full-chip layouts are mostly empty windows. Empty windows
+// are counted under tile_empty_total — not as cache traffic — so hit-rate
+// stats reflect real optimizations avoided.
 func RunWindow(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, layout *geom.Layout, windowPx int, pixelNM float64, samples []geom.Sample) (*ilt.Result, error) {
 	if len(layout.Polys) == 0 {
-		z := grid.New(windowPx, windowPx)
-		return &ilt.Result{Mask: z, MaskGray: z.Clone()}, nil
+		tileEmpty.Inc()
+		return emptyWindowResult(windowPx), nil
 	}
 	opt, err := ilt.New(ws, cfg)
 	if err != nil {
@@ -65,13 +110,15 @@ func RunWindow(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, layout *g
 }
 
 // Scheduler metrics: tiles optimized, the per-tile wall-time
-// distribution, transient-failure retries, and tiles skipped because a
-// journal already held their result.
+// distribution, transient-failure retries, tiles skipped because a
+// journal already held their result, and windows short-circuited because
+// they contained no geometry.
 var (
 	tileOpts        = obs.NewCounter("tile_opt_total")
 	tileSeconds     = obs.NewHistogram("tile_seconds")
 	tileRetries     = obs.NewCounter("tile_retries_total")
 	tileJournalHits = obs.NewCounter("tile_journal_hits_total")
+	tileEmpty       = obs.NewCounter("tile_empty_total")
 )
 
 // Options tunes one Plan.Optimize run.
@@ -216,8 +263,10 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 	// Core reservations only make sense for in-process compute: a remote
 	// runner's workers are I/O-bound dispatchers that block on the network
 	// while the fleet computes, so gating them on local cores would
-	// serialize the fleet behind this machine's GOMAXPROCS.
-	reserve := opts.Runner == nil
+	// serialize the fleet behind this machine's GOMAXPROCS. Decorated
+	// local runners (the result cache) declare themselves via
+	// LocalComputer and keep the reservations.
+	reserve := IsLocalCompute(runner)
 
 	workers := p.resolveWorkers(opts.Workers)
 	ctx, cancel := context.WithCancel(ctx)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mosaic/internal/bench"
+	"mosaic/internal/cache"
 	"mosaic/internal/gds"
 	"mosaic/internal/geom"
 	"mosaic/internal/grid"
@@ -112,11 +113,28 @@ type (
 	TileRunner = tile.Runner
 	// TileRequest is the work order a TileRunner receives.
 	TileRequest = tile.Request
+	// TileCache is a content-addressed tile-result store: repeated
+	// windows — the same cell geometry under the same configuration,
+	// anywhere in any layout — are optimized once and served from the
+	// cache afterwards (see TileOptions.Cache and OpenTileCache).
+	TileCache = cache.Store
+	// TileCacheOptions configures a TileCache (disk directory, memory
+	// budget).
+	TileCacheOptions = cache.Options
 )
 
 // OpenTileJournal opens (creating if absent) an on-disk tile journal for
 // TileOptions.Journal; close it when the run finishes.
 func OpenTileJournal(path string) (*FileTileJournal, error) { return tile.OpenFileJournal(path) }
+
+// OpenTileCache opens a content-addressed tile-result cache for
+// TileOptions.Cache. dir is the durable tier's directory ("" keeps the
+// cache memory-only); memBytes is the in-process tier's byte budget
+// (0 = cache.DefaultMemBytes, negative = disk-only). A cache is safe to
+// share across every run and job of a process — sharing is the point.
+func OpenTileCache(dir string, memBytes int64) (*TileCache, error) {
+	return cache.Open(cache.Options{Dir: dir, MemBytes: memBytes})
+}
 
 // Optimization modes.
 const (
@@ -323,6 +341,13 @@ type TileOptions struct {
 	// so any Runner that reproduces tile.RunWindow's bits keeps the run
 	// bit-identical to a local one.
 	Runner TileRunner
+	// Cache, when non-nil, serves tiles whose content address — the
+	// window's geometry in window-local coordinates plus the full
+	// imaging/resist/optimizer configuration — was optimized before,
+	// skipping the optimization (and, with a cluster Runner, the remote
+	// dispatch). Cached results are bit-identical to cold ones, so every
+	// other guarantee is unchanged. See OpenTileCache.
+	Cache *TileCache
 }
 
 // LayoutResult is the outcome of OptimizeLayout: a mask covering the whole
@@ -404,6 +429,13 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 	if opts.OnTile != nil {
 		onTile = func(done, total int, _ *tile.Tile, _ *ilt.Result) { opts.OnTile(done, total) }
 	}
+	runner := opts.Runner
+	if opts.Cache != nil {
+		// The cache decorates whatever runner the options name (the
+		// in-process default when nil), so a hit short-circuits before any
+		// local optimization or remote dispatch.
+		runner = cache.NewRunner(opts.Cache, runner)
+	}
 	res, err := plan.Optimize(ctx, ws, cfg, tile.Options{
 		Workers:      opts.Workers,
 		SeamNM:       opts.SeamNM,
@@ -411,7 +443,7 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		Retries:      opts.Retries,
 		RetryBackoff: opts.RetryBackoff,
 		Journal:      opts.Journal,
-		Runner:       opts.Runner,
+		Runner:       runner,
 	})
 	if err != nil {
 		return nil, wrapCanceled(err)
