@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet staticcheck test build bench bench-compare serve-smoke cluster-smoke cache-smoke
+.PHONY: check fmt vet staticcheck test build bench bench-compare serve-smoke cluster-smoke cache-smoke provenance-smoke
 
 # check is the tier-1 verification: formatting, static analysis, and the
 # full test suite under the race detector.
@@ -45,6 +45,13 @@ cluster-smoke:
 # entry must be quarantined and recomputed across a daemon restart.
 cache-smoke:
 	./scripts/cache_smoke.sh
+
+# provenance-smoke runs sharded jobs against a mosaicd with an artifact
+# dir: cold and warm runs must anchor identical manifest/Merkle digests,
+# and a byte flipped in one stored blob must fail /verify naming the
+# leaf across a restart while an untouched artifact verifies clean.
+provenance-smoke:
+	./scripts/provenance_smoke.sh
 
 # bench runs the paper-table and convolution-engine benchmarks and archives
 # both a benchstat-compatible text file and a JSON rendering under results/,

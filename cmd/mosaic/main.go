@@ -40,6 +40,7 @@ func main() {
 	tileNM := flag.Float64("tile-nm", 0, "shard the layout into core tiles of this pitch in nm (0 = untiled)")
 	haloNM := flag.Float64("halo-nm", 0, "minimum optical halo around each tile core in nm (0 = lambda/NA)")
 	tileWorkers := flag.Int("tile-workers", 0, "core-reservation hint: concurrent tile optimizations, bounded by the compute pool (0 = pool capacity)")
+	artifactDir := flag.String("artifact-dir", "", "directory for the Merkle-anchored artifact store; the run commits a verifiable provenance record (empty = no provenance)")
 	out := flag.String("out", "mosaic-out", "output directory")
 	tracePerfetto := flag.String("trace-perfetto", "", "write the run's span tree as Perfetto trace_event JSON to this file")
 	cacheFlags := cli.AddCacheFlags(flag.CommandLine, 0) // off unless asked for: one-shot runs mostly benefit via -cache-dir
@@ -81,6 +82,16 @@ func main() {
 	topts.Cache, err = cacheFlags.Open()
 	if err != nil {
 		log.Fatal(err)
+	}
+	// With -artifact-dir the run's results are committed as a Merkle-
+	// anchored provenance record; re-running the same inputs anchors the
+	// same digests, so two runs can attest equality by comparing them.
+	if *artifactDir != "" {
+		topts.Artifact, err = mosaic.OpenArtifactStore(*artifactDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer topts.Artifact.Close()
 	}
 
 	if *method != "" {
@@ -191,6 +202,10 @@ func main() {
 	fmt.Printf("shape viol.:    %d\n", rep.ShapeViolations)
 	fmt.Printf("score:          %.0f\n", rep.Score)
 	fmt.Printf("mask geometry:  %d polygons, %d VSB rectangles\n", len(traced.Polys), shots)
+	if res.Artifact != nil {
+		fmt.Printf("manifest:       %s\n", res.Artifact.Manifest)
+		fmt.Printf("merkle root:    %s\n", res.Artifact.Root)
+	}
 	fmt.Printf("outputs in %s\n", *out)
 }
 

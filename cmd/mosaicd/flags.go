@@ -16,6 +16,7 @@ type options struct {
 	queue         int
 	grid          int
 	checkpointDir string
+	artifactDir   string
 	drainTimeout  time.Duration
 	tileRetries   int
 	worker        bool
@@ -36,6 +37,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.queue, "queue", 64, "maximum queued jobs")
 	fs.IntVar(&o.grid, "grid", 512, "default simulation grid size (power of two); jobs may override")
 	fs.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for drain checkpoints and tile journals (empty = no fault tolerance)")
+	fs.StringVar(&o.artifactDir, "artifact-dir", "", "directory for the Merkle-anchored artifact store; every completed job commits a verifiable provenance record (empty = no provenance)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight jobs to checkpoint")
 	fs.IntVar(&o.tileRetries, "tile-retries", 1, "extra attempts a failed tile gets in sharded jobs")
 	fs.BoolVar(&o.worker, "worker", false, "run as a cluster worker serving tile jobs (requires -join)")

@@ -25,9 +25,12 @@
 // API (see internal/serve and internal/cluster):
 //
 //	POST /v1/jobs                {"benchmark":"B1","mode":"fast"} -> 202 {"id":...}
+//	GET  /v1/jobs                job listing (?status=, ?limit=, ?cursor= paginate)
 //	GET  /v1/jobs/{id}           status with per-iteration progress
 //	GET  /v1/jobs/{id}/result    score, EPE violations, PV band
-//	GET  /v1/jobs/{id}/mask.pgm  the optimized mask image
+//	GET  /v1/jobs/{id}/mask      the optimized mask (Accept: PGM or raw frame)
+//	GET  /v1/jobs/{id}/provenance the job's anchored artifact record (-artifact-dir)
+//	GET  /v1/artifacts/{digest}  content-addressed blob fetch; append /verify to prove it
 //	POST /v1/jobs/{id}/cancel    stop a queued or running job
 //	POST /v1/cluster/join        worker registration (coordinator)
 //	POST /v1/cluster/heartbeat   worker liveness (coordinator)
@@ -90,6 +93,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One artifact store for the whole daemon: every completed job anchors
+	// its provenance record here, queryable under /v1/artifacts and
+	// verifiable across restarts.
+	var artifacts *mosaic.ArtifactStore
+	if o.artifactDir != "" {
+		artifacts, err = mosaic.OpenArtifactStore(o.artifactDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer artifacts.Close()
+	}
+
 	optics := mosaic.DefaultOptics()
 	optics.GridSize = o.grid
 	srv, err := serve.New(serve.Config{
@@ -100,6 +115,7 @@ func main() {
 		TileRetries:   o.tileRetries,
 		TileRunner:    coord,
 		TileCache:     tileCache,
+		ArtifactStore: artifacts,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,58 @@
+package artifact
+
+import "crypto/sha256"
+
+// The Merkle construction is domain-separated so no stored payload can
+// masquerade as a tree node: leaves enter as raw blob digests (plain
+// SHA-256 of payload bytes, re-derivable by anyone holding them),
+// interior nodes hash 0x01||left||right, and the anchored root binds
+// the tile tree to the job manifest as 0x02||manifest||tilesRoot.
+
+// nodeHash combines two Merkle nodes.
+func nodeHash(left, right Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// MerkleRoot folds leaf digests into one root. An odd node at any
+// level is promoted to the next unchanged (RFC 6962 style), so the
+// tree needs no padding leaves and a single leaf is its own root. No
+// leaves fold to the zero digest.
+func MerkleRoot(leaves []Digest) Digest {
+	if len(leaves) == 0 {
+		return Digest{}
+	}
+	level := make([]Digest, len(leaves))
+	copy(level, leaves)
+	for n := len(level); n > 1; {
+		m := 0
+		for i := 0; i+1 < n; i += 2 {
+			level[m] = nodeHash(level[i], level[i+1])
+			m++
+		}
+		if n%2 == 1 {
+			level[m] = level[n-1]
+			m++
+		}
+		n = m
+	}
+	return level[0]
+}
+
+// AnchorRoot binds a job's manifest digest to its tile tree: the
+// anchored root proves both what was computed (the manifest — inputs,
+// configuration, build) and what came out (every tile's bytes).
+func AnchorRoot(manifest, tilesRoot Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte{0x02})
+	h.Write(manifest[:])
+	h.Write(tilesRoot[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}

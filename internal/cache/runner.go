@@ -50,6 +50,14 @@ func (r *Runner) RunTile(ctx context.Context, req *tile.Request) (*ilt.Result, e
 		return nil, err
 	}
 	obs.CurrentSpan(ctx).SetAttrs(obs.String("tile.cache", tier))
+	if req.Prov != nil {
+		// Attribute the serving tier and the content key so the artifact
+		// store can cross-link the anchored leaf to its cache entry. A
+		// miss keeps whatever the inner runner recorded (e.g. the remote
+		// worker address) and adds the tier on top.
+		req.Prov.Tier = tier
+		req.Prov.Key = key.String()
+	}
 	return res, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"mosaic/internal/httpapi"
 	"mosaic/internal/ilt"
 	"mosaic/internal/obs"
 	"mosaic/internal/tile"
@@ -327,6 +328,9 @@ func (c *Coordinator) RunTile(ctx context.Context, req *tile.Request) (*ilt.Resu
 		res, derr := c.dispatch(ctx, w, req.Tile.Index, payload)
 		if derr == nil {
 			mTilesRemote.Inc()
+			if req.Prov != nil {
+				req.Prov.Worker = w.addr
+			}
 			return res, nil
 		}
 		if ctx.Err() != nil {
@@ -481,7 +485,8 @@ func (c *Coordinator) dispatch(ctx context.Context, w *remoteWorker, tileIdx int
 	return res, nil
 }
 
-// Handler returns the coordinator's control-plane API:
+// Handler returns the coordinator's control-plane API. Errors use the
+// shared httpapi envelope, like every other mosaic endpoint:
 //
 //	POST /v1/cluster/join       {"addr":"http://host:port","capacity":2} -> JoinReply
 //	POST /v1/cluster/heartbeat  {"worker_id":"..."} -> 200, or 404 (rejoin)
@@ -495,35 +500,35 @@ func (c *Coordinator) Handler() http.Handler {
 			Capacity int    `json:"capacity"`
 		}
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-			clusterJSON(w, http.StatusBadRequest, map[string]string{"error": "decoding join request: " + err.Error()})
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, "decoding join request: "+err.Error())
 			return
 		}
 		reply, err := c.Join(req.Addr, req.Capacity)
 		if err != nil {
-			code := http.StatusBadRequest
 			if err == ErrClosed {
-				code = http.StatusServiceUnavailable
+				httpapi.Error(w, http.StatusServiceUnavailable, httpapi.CodeClusterClosed, err.Error())
+			} else {
+				httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			}
-			clusterJSON(w, code, map[string]string{"error": err.Error()})
 			return
 		}
-		clusterJSON(w, http.StatusOK, reply)
+		httpapi.JSON(w, http.StatusOK, reply)
 	})
 	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			WorkerID string `json:"worker_id"`
 		}
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-			clusterJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		switch err := c.Heartbeat(req.WorkerID); err {
 		case nil:
-			clusterJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			httpapi.JSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		case ErrUnknownWorker:
-			clusterJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			httpapi.Error(w, http.StatusNotFound, httpapi.CodeUnknownWorker, err.Error())
 		default:
-			clusterJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			httpapi.Error(w, http.StatusServiceUnavailable, httpapi.CodeClusterClosed, err.Error())
 		}
 	})
 	mux.HandleFunc("POST /v1/cluster/leave", func(w http.ResponseWriter, r *http.Request) {
@@ -531,21 +536,14 @@ func (c *Coordinator) Handler() http.Handler {
 			WorkerID string `json:"worker_id"`
 		}
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-			clusterJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		c.Leave(req.WorkerID)
-		clusterJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		httpapi.JSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/cluster/workers", func(w http.ResponseWriter, _ *http.Request) {
-		clusterJSON(w, http.StatusOK, c.Workers())
+		httpapi.JSON(w, http.StatusOK, c.Workers())
 	})
 	return mux
-}
-
-// clusterJSON emits one JSON response.
-func clusterJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"mosaic/internal/httpapi"
 	"mosaic/internal/obs"
 	"mosaic/internal/sim"
 	"mosaic/internal/tile"
@@ -111,22 +112,22 @@ func (w *Worker) handleTile(rw http.ResponseWriter, r *http.Request) {
 		defer func() { <-w.slots }()
 	default:
 		mWorkerBusy.Inc()
-		http.Error(rw, ErrWorkerBusy.Error(), http.StatusServiceUnavailable)
+		httpapi.Error(rw, http.StatusServiceUnavailable, httpapi.CodeWorkerBusy, ErrWorkerBusy.Error())
 		return
 	}
 	payload, _, err := readFrame(r.Body, magicTileJob)
 	if err != nil {
-		http.Error(rw, "reading tile job: "+err.Error(), http.StatusBadRequest)
+		httpapi.Error(rw, http.StatusBadRequest, httpapi.CodeBadRequest, "reading tile job: "+err.Error())
 		return
 	}
 	job, err := decodeTileJob(payload)
 	if err != nil {
-		http.Error(rw, "decoding tile job: "+err.Error(), http.StatusBadRequest)
+		httpapi.Error(rw, http.StatusBadRequest, httpapi.CodeBadRequest, "decoding tile job: "+err.Error())
 		return
 	}
 	ws, err := w.simFor(job)
 	if err != nil {
-		http.Error(rw, "building simulator: "+err.Error(), http.StatusInternalServerError)
+		httpapi.Error(rw, http.StatusInternalServerError, httpapi.CodeInternal, "building simulator: "+err.Error())
 		return
 	}
 
@@ -148,10 +149,10 @@ func (w *Worker) handleTile(rw http.ResponseWriter, r *http.Request) {
 		// The coordinator (or its lease) canceled the request mid-tile:
 		// nobody is listening for this body anyway.
 		if r.Context().Err() != nil {
-			http.Error(rw, "tile canceled: "+err.Error(), http.StatusServiceUnavailable)
+			httpapi.Error(rw, http.StatusServiceUnavailable, httpapi.CodeCanceled, "tile canceled: "+err.Error())
 			return
 		}
-		http.Error(rw, fmt.Sprintf("optimizing tile %d: %v", job.TileIndex, err), http.StatusInternalServerError)
+		httpapi.Error(rw, http.StatusInternalServerError, httpapi.CodeInternal, fmt.Sprintf("optimizing tile %d: %v", job.TileIndex, err))
 		return
 	}
 	var spans []obs.SpanEvent
@@ -175,7 +176,7 @@ func (w *Worker) handleTile(rw http.ResponseWriter, r *http.Request) {
 	}
 	out, err := encodeTileResult(job.TileIndex, res, spans)
 	if err != nil {
-		http.Error(rw, "encoding tile result: "+err.Error(), http.StatusInternalServerError)
+		httpapi.Error(rw, http.StatusInternalServerError, httpapi.CodeInternal, "encoding tile result: "+err.Error())
 		return
 	}
 	mWorkerTiles.Inc()
@@ -184,7 +185,7 @@ func (w *Worker) handleTile(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	var frame bytes.Buffer
 	if _, err := writeFrame(&frame, magicTileResult, out); err != nil {
-		http.Error(rw, "framing tile result: "+err.Error(), http.StatusInternalServerError)
+		httpapi.Error(rw, http.StatusInternalServerError, httpapi.CodeInternal, "framing tile result: "+err.Error())
 		return
 	}
 	rw.Write(frame.Bytes())

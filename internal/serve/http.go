@@ -4,79 +4,108 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
+	"mosaic"
+	"mosaic/internal/artifact"
+	"mosaic/internal/httpapi"
 	"mosaic/internal/obs"
 	"mosaic/internal/render"
 )
 
-// Handler returns the server's HTTP API:
+// Handler returns the server's HTTP API. The route list below is the
+// reference clients read and a test pins against the actual mux
+// registrations — keep the two in sync:
 //
-//	POST /v1/jobs              submit a JobSpec, returns 202 + Status
-//	GET  /v1/jobs              list all jobs
-//	GET  /v1/jobs/{id}         one job's status and progress
-//	GET  /v1/jobs/{id}/result  finished job's result summary (score, EPE...)
-//	GET  /v1/jobs/{id}/mask.pgm  finished job's binary mask as a PGM image
-//	GET  /v1/jobs/{id}/events  live telemetry as SSE (resumable via
-//	                           Last-Event-ID; per-iteration convergence,
-//	                           tile lifecycle, state changes)
-//	GET  /v1/jobs/{id}/trace   assembled span tree as Perfetto trace_event
-//	                           JSON (load in ui.perfetto.dev)
-//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
-//	GET  /healthz              liveness probe
-//	GET  /metrics, /debug/...  the obs debug surface (Prometheus, pprof)
+//	POST /v1/jobs                        submit a JobSpec, returns 202 + Status
+//	GET  /v1/jobs                        list jobs; ?status=, ?limit=, ?cursor= paginate
+//	GET  /v1/jobs/{id}                   one job's status and progress
+//	GET  /v1/jobs/{id}/result            finished job's result summary (score, EPE...)
+//	GET  /v1/jobs/{id}/mask              finished job's mask; Accept selects PGM or raw frame
+//	GET  /v1/jobs/{id}/mask.pgm          deprecated alias of /mask forcing PGM
+//	GET  /v1/jobs/{id}/provenance        anchored artifact record: manifest digest,
+//	                                     Merkle root, per-tile leaves, cache attribution
+//	GET  /v1/jobs/{id}/events            live telemetry as SSE (resumable via
+//	                                     Last-Event-ID; convergence, tiles, states)
+//	GET  /v1/jobs/{id}/trace             assembled span tree as Perfetto trace_event JSON
+//	POST /v1/jobs/{id}/cancel            cancel a queued or running job
+//	GET  /v1/artifacts/{digest}          stored blob by content address (tile result
+//	                                     payload, or manifest JSON)
+//	GET  /v1/artifacts/{digest}/verify   integrity proof: a record digest re-proves
+//	                                     leaf bytes to Merkle root, a blob digest
+//	                                     re-hashes the stored payload
+//	GET  /healthz                        liveness probe
 //
-// Errors are JSON objects {"error": "..."} with conventional status codes.
+// GET /metrics and /debug/... expose the obs debug surface (Prometheus,
+// pprof). Errors are the shared envelope
+// {"error":{"code","message","retry_after?"}} — see internal/httpapi.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/mask.pgm", s.handleMask)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.pattern, rt.handler)
+	}
 	debug := obs.DebugHandler()
 	mux.Handle("/debug/", debug)
 	mux.Handle("/metrics", debug)
 	return mux
 }
 
-// writeJSON emits one JSON response.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+// route is one mux registration; routes() is the single source the
+// Handler and the doc-sync test share.
+type route struct {
+	pattern string
+	handler http.HandlerFunc
 }
 
-// writeError maps service errors onto HTTP status codes: over-capacity
+// routes returns every API registration (the debug surface mounts
+// separately — it is obs's handler, not a route of this API).
+func (s *Server) routes() []route {
+	return []route{
+		{"POST /v1/jobs", s.handleSubmit},
+		{"GET /v1/jobs", s.handleList},
+		{"GET /v1/jobs/{id}", s.handleStatus},
+		{"GET /v1/jobs/{id}/result", s.handleResult},
+		{"GET /v1/jobs/{id}/mask", s.handleMask},
+		{"GET /v1/jobs/{id}/mask.pgm", s.handleMaskPGM},
+		{"GET /v1/jobs/{id}/provenance", s.handleProvenance},
+		{"GET /v1/jobs/{id}/events", s.handleEvents},
+		{"GET /v1/jobs/{id}/trace", s.handleTrace},
+		{"POST /v1/jobs/{id}/cancel", s.handleCancel},
+		{"GET /v1/artifacts/{digest}", s.handleArtifact},
+		{"GET /v1/artifacts/{digest}/verify", s.handleArtifactVerify},
+		{"GET /healthz", s.handleHealthz},
+	}
+}
+
+// writeError maps service errors onto the shared envelope: over-capacity
 // (queue full) answers 429 with a Retry-After hint, while a draining
 // server answers 503 — the former means "try this instance again
 // shortly", the latter "this instance is going away".
 func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
 	var qf *QueueFullError
 	switch {
 	case errors.Is(err, ErrNotFound):
-		code = http.StatusNotFound
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error())
+	case errors.Is(err, ErrNoProvenance):
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNoArtifacts, err.Error())
 	case errors.Is(err, ErrNotDone), errors.Is(err, ErrFinished):
-		code = http.StatusConflict
+		httpapi.Error(w, http.StatusConflict, httpapi.CodeConflict, err.Error())
 	case errors.As(err, &qf):
-		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(qf.RetryAfter.Seconds()))))
+		httpapi.RetryError(w, http.StatusTooManyRequests, httpapi.CodeQueueFull, err.Error(), qf.RetryAfter)
 	case errors.Is(err, ErrQueueFull):
-		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(defaultRetryAfter.Seconds()))))
+		httpapi.RetryError(w, http.StatusTooManyRequests, httpapi.CodeQueueFull, err.Error(), defaultRetryAfter)
 	case errors.Is(err, ErrDraining):
-		code = http.StatusServiceUnavailable
+		httpapi.Error(w, http.StatusServiceUnavailable, httpapi.CodeDraining, err.Error())
+	default:
+		httpapi.Error(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	httpapi.JSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -84,7 +113,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decoding spec: " + err.Error()})
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, "decoding spec: "+err.Error())
 		return
 	}
 	st, err := s.Submit(spec)
@@ -92,15 +121,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
 			writeError(w, err)
 		} else {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		}
 		return
 	}
-	writeJSON(w, http.StatusAccepted, st)
+	httpapi.JSON(w, http.StatusAccepted, st)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.List())
+// JobPage is the paginated body of GET /v1/jobs: a page of statuses in
+// submission order and the cursor resuming after it ("" on the last
+// page, and then omitted).
+type JobPage struct {
+	Jobs       []*Status `json:"jobs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+}
+
+// handleList serves GET /v1/jobs. With no query parameters it keeps the
+// original contract — the complete list as a bare JSON array. Any of
+// ?status= (filter by state), ?limit= (page size, default 100, max
+// 1000), or ?cursor= (opaque, from a previous page) switches to the
+// paginated JobPage shape.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if !q.Has("status") && !q.Has("limit") && !q.Has("cursor") {
+		httpapi.JSON(w, http.StatusOK, s.List())
+		return
+	}
+	var filter State
+	if v := q.Get("status"); v != "" {
+		filter = State(v)
+		switch filter {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateInterrupted:
+		default:
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				fmt.Sprintf("unknown status %q", v))
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				fmt.Sprintf("limit %q is not a positive integer", v))
+			return
+		}
+		limit = n
+	}
+	jobs, next, err := s.ListPage(filter, limit, q.Get("cursor"))
+	if err != nil {
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		return
+	}
+	if jobs == nil {
+		jobs = []*Status{}
+	}
+	httpapi.JSON(w, http.StatusOK, JobPage{Jobs: jobs, NextCursor: next})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -109,7 +185,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	httpapi.JSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -118,17 +194,224 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sum)
+	httpapi.JSON(w, http.StatusOK, sum)
 }
 
-func (s *Server) handleMask(w http.ResponseWriter, r *http.Request) {
+// Mask media types: the PGM image (the default, human-toolable) and the
+// raw continuous mask as a self-describing MTGF frame (float64 bit
+// patterns — the exact optimizer output, for programmatic consumers).
+const (
+	pgmMediaType      = "image/x-portable-graymap"
+	maskGrayMediaType = "application/vnd.mosaic.maskgray"
+)
+
+// negotiateMask picks the mask representation for an Accept header:
+// the first supported media type in the list wins, "" (no Accept) and
+// wildcards mean PGM, and an Accept listing nothing we can produce
+// returns "" (406). Quality factors are ignored — order expresses
+// preference.
+func negotiateMask(accept string) string {
+	if strings.TrimSpace(accept) == "" {
+		return pgmMediaType
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case pgmMediaType, "image/*", "*/*":
+			return pgmMediaType
+		case maskGrayMediaType, "application/octet-stream":
+			return maskGrayMediaType
+		}
+	}
+	return ""
+}
+
+// serveMask writes a finished job's mask in the negotiated
+// representation; forcePGM is the deprecated mask.pgm alias.
+func (s *Server) serveMask(w http.ResponseWriter, r *http.Request, forcePGM bool) {
 	res, _, err := s.Result(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "image/x-portable-graymap")
-	render.WritePGM(w, res.Mask)
+	mt := pgmMediaType
+	if !forcePGM {
+		if mt = negotiateMask(r.Header.Get("Accept")); mt == "" {
+			httpapi.Error(w, http.StatusNotAcceptable, httpapi.CodeNotAcceptable,
+				fmt.Sprintf("mask is available as %s or %s", pgmMediaType, maskGrayMediaType))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", mt)
+	switch mt {
+	case maskGrayMediaType:
+		w.Write(artifact.EncodeFieldFrame(res.MaskGray))
+	default:
+		render.WritePGM(w, res.Mask)
+	}
+}
+
+func (s *Server) handleMask(w http.ResponseWriter, r *http.Request) {
+	s.serveMask(w, r, false)
+}
+
+// handleMaskPGM is the deprecated pre-negotiation route; it answers
+// exactly as /mask with no Accept header, plus deprecation headers
+// pointing clients at the successor.
+func (s *Server) handleMaskPGM(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "</v1/jobs/"+r.PathValue("id")+"/mask>; rel=\"successor-version\"")
+	s.serveMask(w, r, true)
+}
+
+// ProvenanceBody is the JSON body of GET /v1/jobs/{id}/provenance: the
+// anchored artifact record plus a cache-attribution rollup.
+type ProvenanceBody struct {
+	JobID          string                `json:"job_id"`
+	ManifestDigest string                `json:"manifest_digest"`
+	MerkleRoot     string                `json:"merkle_root"`
+	CreatedAt      time.Time             `json:"created_at"`
+	Leaves         []mosaic.ArtifactLeaf `json:"leaves"`
+	Cache          CacheAttribution      `json:"cache"`
+}
+
+// CacheAttribution counts how the job's tiles were produced.
+type CacheAttribution struct {
+	// Hits counts tiles served from the tile cache (any tier).
+	Hits int `json:"hits"`
+	// Computed counts tiles actually optimized for this job.
+	Computed int `json:"computed"`
+	// Empty counts windows short-circuited for having no geometry.
+	Empty int `json:"empty"`
+	// Journal counts tiles adopted from a crash/drain resume journal.
+	Journal int `json:"journal"`
+	// Remote counts tiles computed on cluster workers.
+	Remote int `json:"remote"`
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Provenance(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := ProvenanceBody{
+		JobID:          rec.JobID,
+		ManifestDigest: rec.Manifest.String(),
+		MerkleRoot:     rec.Root.String(),
+		CreatedAt:      rec.CreatedAt,
+		Leaves:         rec.Leaves,
+	}
+	for _, l := range rec.Leaves {
+		switch l.Tier {
+		case "mem", "disk", "flight":
+			body.Cache.Hits++
+		case "empty":
+			body.Cache.Empty++
+		case "journal":
+			body.Cache.Journal++
+		default:
+			body.Cache.Computed++
+		}
+		if l.Worker != "" {
+			body.Cache.Remote++
+		}
+	}
+	httpapi.JSON(w, http.StatusOK, body)
+}
+
+// artifactStore returns the configured store, answering the standard
+// 404 when the server runs without one.
+func (s *Server) artifactStore(w http.ResponseWriter) *mosaic.ArtifactStore {
+	if s.cfg.ArtifactStore == nil {
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNoArtifacts,
+			"this server has no artifact store configured")
+		return nil
+	}
+	return s.cfg.ArtifactStore
+}
+
+// handleArtifact serves a stored blob by content address. Manifest
+// blobs (JSON) are served as application/json, tile-result payloads as
+// application/octet-stream; the digest doubles as a strong ETag since
+// blobs are immutable by construction.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	store := s.artifactStore(w)
+	if store == nil {
+		return
+	}
+	d, err := artifact.ParseDigest(r.PathValue("digest"))
+	if err != nil {
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		return
+	}
+	payload, err := store.Blob(d)
+	switch {
+	case errors.Is(err, artifact.ErrNotFound):
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error())
+		return
+	case errors.Is(err, artifact.ErrCorrupt):
+		httpapi.Error(w, http.StatusInternalServerError, httpapi.CodeCorruptArtifact, err.Error())
+		return
+	case err != nil:
+		httpapi.Error(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
+		return
+	}
+	ct := "application/octet-stream"
+	for _, ref := range store.ByBlob(d) {
+		if ref.Leaf == artifact.ManifestLeaf {
+			ct = "application/json"
+			break
+		}
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("ETag", `"`+d.String()+`"`)
+	w.Write(payload)
+}
+
+// BlobVerifyBody is the verify response for a digest that names a
+// single blob rather than an anchored record.
+type BlobVerifyBody struct {
+	Blob   string `json:"blob"`
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleArtifactVerify re-proves integrity. A digest resolving to an
+// anchored record (Merkle root or manifest digest) re-walks the whole
+// artifact from leaf bytes to root; a plain blob digest re-hashes that
+// blob. Verification outcomes are data, not transport errors: a failed
+// proof answers 200 with ok=false and the offending leaves named.
+func (s *Server) handleArtifactVerify(w http.ResponseWriter, r *http.Request) {
+	store := s.artifactStore(w)
+	if store == nil {
+		return
+	}
+	d, err := artifact.ParseDigest(r.PathValue("digest"))
+	if err != nil {
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		return
+	}
+	if rec, ok := store.Resolve(d); ok {
+		httpapi.JSON(w, http.StatusOK, store.Verify(rec))
+		return
+	}
+	if len(store.ByBlob(d)) == 0 {
+		// Not a root, not a manifest, not an anchored blob: unknown.
+		if _, err := store.Blob(d); errors.Is(err, artifact.ErrNotFound) {
+			httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error())
+			return
+		}
+	}
+	body := BlobVerifyBody{Blob: d.String(), OK: true}
+	if err := store.VerifyBlob(d); err != nil {
+		body.OK = false
+		body.Reason = err.Error()
+	}
+	httpapi.JSON(w, http.StatusOK, body)
 }
 
 // lookup returns the job record behind an id.
@@ -151,7 +434,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		httpapi.Error(w, http.StatusInternalServerError, httpapi.CodeInternal, "streaming unsupported")
 		return
 	}
 	var after int64
@@ -234,5 +517,5 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	httpapi.JSON(w, http.StatusOK, st)
 }

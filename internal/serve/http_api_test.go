@@ -1,0 +1,517 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mosaic"
+	"mosaic/internal/artifact"
+	"mosaic/internal/httpapi"
+)
+
+// TestErrorEnvelopeCodes pins the stable machine-readable code of every
+// cheaply reachable error path. Clients switch on these codes; changing
+// one is a breaking API change and must be deliberate.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	s, err := New(testServerConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	cases := []struct {
+		name   string
+		resp   func() *http.Response
+		status int
+		code   string
+	}{
+		{"unknown job status", func() *http.Response { return get("/v1/jobs/nope") }, 404, httpapi.CodeNotFound},
+		{"unknown job result", func() *http.Response { return get("/v1/jobs/nope/result") }, 404, httpapi.CodeNotFound},
+		{"unknown job mask", func() *http.Response { return get("/v1/jobs/nope/mask") }, 404, httpapi.CodeNotFound},
+		{"unknown job provenance", func() *http.Response { return get("/v1/jobs/nope/provenance") }, 404, httpapi.CodeNotFound},
+		{"malformed submit", func() *http.Response {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{broken"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, 400, httpapi.CodeBadRequest},
+		{"invalid spec", func() *http.Response {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, 400, httpapi.CodeBadRequest},
+		{"unknown list status", func() *http.Response { return get("/v1/jobs?status=bogus") }, 400, httpapi.CodeBadRequest},
+		{"bad list limit", func() *http.Response { return get("/v1/jobs?limit=zero") }, 400, httpapi.CodeBadRequest},
+		{"bad list cursor", func() *http.Response { return get("/v1/jobs?cursor=@@@") }, 400, httpapi.CodeBadRequest},
+		{"artifact without store", func() *http.Response {
+			return get("/v1/artifacts/" + strings.Repeat("ab", 32))
+		}, 404, httpapi.CodeNoArtifacts},
+		{"verify without store", func() *http.Response {
+			return get("/v1/artifacts/" + strings.Repeat("ab", 32) + "/verify")
+		}, 404, httpapi.CodeNoArtifacts},
+		{"cancel unknown job", func() *http.Response {
+			resp, err := http.Post(ts.URL+"/v1/jobs/nope/cancel", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}, 404, httpapi.CodeNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.resp()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if code := errorCode(t, resp); code != tc.code {
+				t.Fatalf("error code %q, want %q", code, tc.code)
+			}
+		})
+	}
+}
+
+// TestListPagination covers GET /v1/jobs: the legacy bare-array shape
+// with no parameters, and the paginated JobPage shape under ?status=,
+// ?limit=, ?cursor=.
+func TestListPagination(t *testing.T) {
+	s, err := New(testServerConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One long blocker occupies the single worker; five quick jobs queue
+	// behind it in a known submission order.
+	blocker, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Cancel(blocker.ID)
+	waitFor(t, s, blocker.ID, 30*time.Second, func(st *Status) bool { return st.State == StateRunning })
+	var queued []string
+	for i := 0; i < 5; i++ {
+		st, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 1, Priority: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, st.ID)
+	}
+
+	// Legacy shape: a bare JSON array, exactly as before the redesign.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(t, resp)
+	if !bytes.HasPrefix(bytes.TrimSpace(raw), []byte("[")) {
+		t.Fatalf("GET /v1/jobs without params must stay a bare array, got %.60s", raw)
+	}
+	var all []*Status
+	if err := json.Unmarshal(raw, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("list returned %d jobs, want 6", len(all))
+	}
+
+	// Paged: walk the full list two jobs at a time, collecting IDs.
+	var paged []string
+	cursor := ""
+	pages := 0
+	for {
+		url := ts.URL + "/v1/jobs?limit=2"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := readAll(t, resp)
+		var page JobPage
+		if err := json.Unmarshal(raw, &page); err != nil {
+			t.Fatalf("page %d: %v (%s)", pages, err, raw)
+		}
+		for _, st := range page.Jobs {
+			paged = append(paged, st.ID)
+		}
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+		if pages > 10 {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	if len(paged) != 6 || pages != 3 {
+		t.Fatalf("paged walk saw %d jobs over %d pages, want 6 over 3", len(paged), pages)
+	}
+	for i, st := range all {
+		if paged[i] != st.ID {
+			t.Fatalf("page order diverges from list order at %d: %s != %s", i, paged[i], st.ID)
+		}
+	}
+
+	// Status filter: exactly the five queued jobs, in order.
+	resp, err = http.Get(ts.URL + "/v1/jobs?status=queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = readAll(t, resp)
+	var page JobPage
+	if err := json.Unmarshal(raw, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 5 {
+		t.Fatalf("status=queued returned %d jobs, want 5", len(page.Jobs))
+	}
+	for i, st := range page.Jobs {
+		if st.ID != queued[i] || st.State != StateQueued {
+			t.Fatalf("queued filter row %d = %s/%s, want %s/queued", i, st.ID, st.State, queued[i])
+		}
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs?status=running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = readAll(t, resp)
+	page = JobPage{}
+	if err := json.Unmarshal(raw, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != blocker.ID {
+		t.Fatalf("status=running = %+v, want just the blocker", page.Jobs)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) ([]byte, *http.Response) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", resp.Request.URL, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.Bytes(), resp
+}
+
+// TestArtifactProvenanceEndToEnd is the full provenance proof over the
+// HTTP API: a sharded job anchors an artifact; the provenance endpoint
+// serves its digests; the manifest and every leaf are fetchable by
+// content address; /verify proves the artifact clean; a warm re-run of
+// the same spec anchors identical digests; and a single flipped byte in
+// one stored blob fails verification naming the offending leaf while
+// sibling blobs still verify clean.
+func TestArtifactProvenanceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	store, err := mosaic.OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cache, err := mosaic.OpenTileCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testServerConfig("")
+	cfg.ArtifactStore = store
+	cfg.TileCache = cache
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Layout: testLayoutText, MaxIter: 2, TileNM: 256}
+	runJob := func() *Status {
+		t.Helper()
+		st, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return waitFor(t, s, st.ID, 120*time.Second, func(st *Status) bool { return st.State.terminal() })
+	}
+
+	cold := runJob()
+	if cold.State != StateDone {
+		t.Fatalf("cold job ended %s: %s", cold.State, cold.Error)
+	}
+	if cold.ManifestDigest == "" || cold.MerkleRoot == "" {
+		t.Fatalf("done status misses artifact digests: %+v", cold)
+	}
+
+	// The provenance endpoint serves the anchored record.
+	var prov ProvenanceBody
+	raw, _ := readAll(t, mustGet(t, ts.URL+"/v1/jobs/"+cold.ID+"/provenance"))
+	if err := json.Unmarshal(raw, &prov); err != nil {
+		t.Fatal(err)
+	}
+	if prov.JobID != cold.ID || prov.ManifestDigest != cold.ManifestDigest || prov.MerkleRoot != cold.MerkleRoot {
+		t.Fatalf("provenance %+v does not match status %+v", prov, cold)
+	}
+	if len(prov.Leaves) != 4 { // 512 nm layout at 256 nm tiles = 2x2
+		t.Fatalf("provenance has %d leaves, want 4", len(prov.Leaves))
+	}
+	counted := prov.Cache.Hits + prov.Cache.Computed + prov.Cache.Empty + prov.Cache.Journal
+	if counted != 4 {
+		t.Fatalf("cache attribution %+v does not cover all 4 leaves", prov.Cache)
+	}
+
+	// The manifest blob is fetchable as JSON and matches the digest.
+	resp := mustGet(t, ts.URL+"/v1/artifacts/"+prov.ManifestDigest)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("manifest served as %q, want application/json", ct)
+	}
+	manRaw, _ := readAll(t, resp)
+	man, err := artifact.DecodeManifest(manRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Schema != artifact.ManifestSchema || !man.Tiling.Tiled || man.Tiling.Cols != 2 {
+		t.Fatalf("manifest does not describe the run: %+v", man)
+	}
+	md, _ := artifact.ParseDigest(prov.ManifestDigest)
+	if artifact.HashBlob(manRaw) != md {
+		t.Fatal("served manifest bytes do not hash to their address")
+	}
+
+	// Each leaf blob decodes to a window-sized tile result.
+	leafResp := mustGet(t, ts.URL+"/v1/artifacts/"+prov.Leaves[0].Blob.String())
+	if ct := leafResp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("leaf served as %q, want application/octet-stream", ct)
+	}
+	leafRaw, _ := readAll(t, leafResp)
+	tileRes, err := artifact.DecodeResult(leafRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tileRes.MaskGray.W <= 0 || tileRes.MaskGray.W != tileRes.MaskGray.H {
+		t.Fatalf("decoded tile window is %dx%d, want a positive square",
+			tileRes.MaskGray.W, tileRes.MaskGray.H)
+	}
+
+	// Verify proves the whole artifact from bytes to root.
+	var rep artifact.VerifyReport
+	raw, _ = readAll(t, mustGet(t, ts.URL+"/v1/artifacts/"+prov.MerkleRoot+"/verify"))
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.RootRecomputed.String() != prov.MerkleRoot {
+		t.Fatalf("clean verify failed: %s", raw)
+	}
+	// The manifest digest resolves to the same record.
+	raw, _ = readAll(t, mustGet(t, ts.URL+"/v1/artifacts/"+prov.ManifestDigest+"/verify"))
+	rep = artifact.VerifyReport{}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("verify by manifest digest failed: %s", raw)
+	}
+
+	// Warm re-run: same spec, fresh job ID, identical digests — the
+	// artifact commits to the work, not to when or how it was served.
+	warm := runJob()
+	if warm.State != StateDone {
+		t.Fatalf("warm job ended %s: %s", warm.State, warm.Error)
+	}
+	if warm.ManifestDigest != cold.ManifestDigest || warm.MerkleRoot != cold.MerkleRoot {
+		t.Fatalf("warm run digests (%s, %s) differ from cold (%s, %s)",
+			warm.ManifestDigest, warm.MerkleRoot, cold.ManifestDigest, cold.MerkleRoot)
+	}
+	var warmProv ProvenanceBody
+	raw, _ = readAll(t, mustGet(t, ts.URL+"/v1/jobs/"+warm.ID+"/provenance"))
+	if err := json.Unmarshal(raw, &warmProv); err != nil {
+		t.Fatal(err)
+	}
+	if warmProv.Cache.Hits == 0 {
+		t.Fatalf("warm run shows no cache hits: %+v", warmProv.Cache)
+	}
+
+	// Digest-addressed error paths with a store present.
+	resp, err = http.Get(ts.URL + "/v1/artifacts/nothex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 || errorCode(t, resp) != httpapi.CodeBadRequest {
+		t.Fatalf("bad digest: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/artifacts/" + strings.Repeat("00", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 || errorCode(t, resp) != httpapi.CodeNotFound {
+		t.Fatalf("unknown digest: status %d", resp.StatusCode)
+	}
+
+	// Corruption: flip one byte in the middle of leaf 2's stored blob.
+	victim := prov.Leaves[2].Blob.String()
+	path := filepath.Join(dir, "blobs", victim[:2], victim+".blob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep = artifact.VerifyReport{}
+	raw, _ = readAll(t, mustGet(t, ts.URL+"/v1/artifacts/"+prov.MerkleRoot+"/verify"))
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("verify passed over a corrupted blob")
+	}
+	if len(rep.Failures) != 1 || rep.Failures[0].Index != 2 {
+		t.Fatalf("failures %+v do not name leaf 2", rep.Failures)
+	}
+	// Fetching the corrupt blob is refused with the dedicated code.
+	resp, err = http.Get(ts.URL + "/v1/artifacts/" + victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 500 || errorCode(t, resp) != httpapi.CodeCorruptArtifact {
+		t.Fatalf("corrupt blob fetch: status %d", resp.StatusCode)
+	}
+	// An untouched sibling blob still verifies clean in isolation.
+	var bv BlobVerifyBody
+	raw, _ = readAll(t, mustGet(t, ts.URL+"/v1/artifacts/"+prov.Leaves[0].Blob.String()+"/verify"))
+	if err := json.Unmarshal(raw, &bv); err != nil {
+		t.Fatal(err)
+	}
+	if !bv.OK {
+		t.Fatalf("untouched sibling blob failed verification: %s", raw)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestMaskContentNegotiation covers GET /v1/jobs/{id}/mask (Accept
+// selects PGM or the raw MTGF frame) and the deprecated mask.pgm alias.
+func TestMaskContentNegotiation(t *testing.T) {
+	s, err := New(testServerConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, err := s.Submit(JobSpec{Layout: testLayoutText, MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitFor(t, s, st.ID, 60*time.Second, func(st *Status) bool { return st.State.terminal() })
+	if done.State != StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	maskURL := ts.URL + "/v1/jobs/" + st.ID + "/mask"
+
+	getAccept := func(url, accept string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Default and wildcard Accept serve PGM.
+	for _, accept := range []string{"", "*/*", "image/*", "image/x-portable-graymap", "text/html, image/*"} {
+		resp := getAccept(maskURL, accept)
+		body, resp := readAll(t, resp)
+		if ct := resp.Header.Get("Content-Type"); ct != "image/x-portable-graymap" {
+			t.Fatalf("Accept %q served %q, want PGM", accept, ct)
+		}
+		if !bytes.HasPrefix(body, []byte("P")) {
+			t.Fatalf("Accept %q body is not a PGM image: %.20q", accept, body)
+		}
+	}
+
+	// The raw frame comes back for the dedicated type or octet-stream,
+	// and decodes to the full-layout continuous mask.
+	for _, accept := range []string{"application/vnd.mosaic.maskgray", "application/octet-stream"} {
+		resp := getAccept(maskURL, accept)
+		body, resp := readAll(t, resp)
+		if ct := resp.Header.Get("Content-Type"); ct != "application/vnd.mosaic.maskgray" {
+			t.Fatalf("Accept %q served %q, want the maskgray frame", accept, ct)
+		}
+		f, err := artifact.DecodeFieldFrame(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.W != 64 || f.H != 64 {
+			t.Fatalf("decoded mask is %dx%d, want 64x64", f.W, f.H)
+		}
+	}
+
+	// An Accept we cannot satisfy answers 406 with the envelope.
+	resp := getAccept(maskURL, "text/html")
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Fatalf("Accept text/html: status %d, want 406", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != httpapi.CodeNotAcceptable {
+		t.Fatalf("406 code %q", code)
+	}
+
+	// The deprecated alias still serves PGM — even under an Accept that
+	// would negotiate differently — and carries migration headers.
+	resp = getAccept(ts.URL+"/v1/jobs/"+st.ID+"/mask.pgm", "application/octet-stream")
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("mask.pgm response misses the Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/mask>") || !strings.Contains(link, "successor-version") {
+		t.Fatalf("mask.pgm Link header %q does not point at the successor", link)
+	}
+	body, resp := readAll(t, resp)
+	if ct := resp.Header.Get("Content-Type"); ct != "image/x-portable-graymap" {
+		t.Fatalf("mask.pgm served %q, want PGM", ct)
+	}
+	if !bytes.HasPrefix(body, []byte("P")) {
+		t.Fatalf("mask.pgm body is not a PGM image: %.20q", body)
+	}
+	_ = fmt.Sprint() // keep fmt imported if unused elsewhere
+}

@@ -9,11 +9,25 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mosaic/internal/httpapi"
 )
 
-// errorBody decodes the conventional {"error": "..."} payload and fails
-// the test when a handler strays from that shape.
+// errorBody decodes the shared {"error":{"code","message"}} envelope
+// and fails the test when a handler strays from that shape; it returns
+// the human-readable message (see errorCode for the machine symbol).
 func errorBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	return errorEnvelope(t, resp).Error.Message
+}
+
+// errorCode decodes the envelope and returns its stable error code.
+func errorCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	return errorEnvelope(t, resp).Error.Code
+}
+
+func errorEnvelope(t *testing.T, resp *http.Response) httpapi.Envelope {
 	t.Helper()
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
@@ -21,16 +35,14 @@ func errorBody(t *testing.T, resp *http.Response) string {
 	}
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
-	var e struct {
-		Error string `json:"error"`
+	var env httpapi.Envelope
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatalf("error body %q is not the shared envelope: %v", buf.Bytes(), err)
 	}
-	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
-		t.Fatalf("error body %q is not an {\"error\": ...} object: %v", buf.Bytes(), err)
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error body %q misses code or message", buf.Bytes())
 	}
-	if e.Error == "" {
-		t.Fatalf("error body %q carries an empty error message", buf.Bytes())
-	}
-	return e.Error
+	return env
 }
 
 func TestHTTPErrorPaths(t *testing.T) {

@@ -137,6 +137,13 @@ type Status struct {
 	Resumed bool   `json:"resumed,omitempty"`
 	Error   string `json:"error,omitempty"`
 
+	// ManifestDigest / MerkleRoot identify the job's anchored artifact
+	// record once it is done (and the server has an artifact store):
+	// the canonical manifest digest and the Merkle root over the tile
+	// leaves. Either resolves via GET /v1/artifacts/{digest}.
+	ManifestDigest string `json:"manifest_digest,omitempty"`
+	MerkleRoot     string `json:"merkle_root,omitempty"`
+
 	// TraceID is the job's distributed trace identifier, set once the job
 	// starts running. GET /v1/jobs/{id}/trace exports the full span tree.
 	TraceID string `json:"trace_id,omitempty"`
@@ -161,6 +168,10 @@ type ResultSummary struct {
 	Tiled           bool    `json:"tiled"`
 	MaskW           int     `json:"mask_w"`
 	MaskH           int     `json:"mask_h"`
+	// ManifestDigest / MerkleRoot identify the job's anchored artifact
+	// record (see Status); empty without an artifact store.
+	ManifestDigest string `json:"manifest_digest,omitempty"`
+	MerkleRoot     string `json:"merkle_root,omitempty"`
 }
 
 // job is the server-side record behind a Status.
@@ -212,6 +223,10 @@ func (j *job) status() *Status {
 		t := j.finished
 		st.FinishedAt = &t
 	}
+	if j.result != nil && j.result.Artifact != nil {
+		st.ManifestDigest = j.result.Artifact.Manifest.String()
+		st.MerkleRoot = j.result.Artifact.Root.String()
+	}
 	if j.tel != nil {
 		st.TraceID = j.tel.TraceID()
 		st.Timeline = j.tel.timeline()
@@ -223,7 +238,7 @@ func (j *job) status() *Status {
 func (j *job) summary() *ResultSummary {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return &ResultSummary{
+	sum := &ResultSummary{
 		ID:              j.id,
 		Testcase:        j.report.Testcase,
 		Score:           j.report.Score,
@@ -235,4 +250,9 @@ func (j *job) summary() *ResultSummary {
 		MaskW:           j.result.Mask.W,
 		MaskH:           j.result.Mask.H,
 	}
+	if j.result.Artifact != nil {
+		sum.ManifestDigest = j.result.Artifact.Manifest.String()
+		sum.MerkleRoot = j.result.Artifact.Root.String()
+	}
+	return sum
 }

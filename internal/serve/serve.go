@@ -4,11 +4,14 @@ import (
 	"container/heap"
 	"context"
 	"crypto/rand"
+	"encoding/base64"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +27,9 @@ var (
 	ErrQueueFull = errors.New("serve: queue is full")
 	ErrDraining  = errors.New("serve: server is draining")
 	ErrFinished  = errors.New("serve: job already finished")
+	// ErrNoProvenance reports a finished job with no anchored artifact
+	// record — the server ran without an artifact store.
+	ErrNoProvenance = errors.New("serve: job has no provenance record (no artifact store configured)")
 
 	// errDrained is the cancel cause a drain injects into running jobs so
 	// runJob can tell a graceful shutdown from a user cancellation.
@@ -97,6 +103,12 @@ type Config struct {
 	// served from the cache instead of being optimized (or dispatched to
 	// the cluster). See mosaic.OpenTileCache.
 	TileCache *mosaic.TileCache
+	// ArtifactStore, when non-nil, anchors every completed job: tile
+	// results become content-addressed blobs under a Merkle root bound
+	// to the job's canonical manifest, served afterwards via
+	// GET /v1/jobs/{id}/provenance and the /v1/artifacts API. See
+	// mosaic.OpenArtifactStore.
+	ArtifactStore *mosaic.ArtifactStore
 }
 
 // Server owns the job queue and its workers.
@@ -229,6 +241,104 @@ func (s *Server) List() []*Status {
 		out[i] = j.status()
 	}
 	return out
+}
+
+// Provenance returns a finished job's anchored artifact record.
+func (s *Server) Provenance(id string) (*mosaic.ArtifactRecord, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
+	}
+	if j.result == nil || j.result.Artifact == nil {
+		return nil, ErrNoProvenance
+	}
+	return j.result.Artifact, nil
+}
+
+// List pagination bounds: the page size when ?limit= is absent, and the
+// hard cap any request is clamped to.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// encodeCursor renders an opaque list cursor. The payload is the last
+// seen job's submission sequence — stable across status changes, so a
+// paging client never sees a job twice or skips one that existed when
+// paging began.
+func encodeCursor(seq int64) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("v1:" + strconv.FormatInt(seq, 10)))
+}
+
+// decodeCursor parses a cursor produced by encodeCursor.
+func decodeCursor(s string) (int64, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, fmt.Errorf("serve: malformed cursor")
+	}
+	num, ok := strings.CutPrefix(string(raw), "v1:")
+	if !ok {
+		return 0, fmt.Errorf("serve: unknown cursor version")
+	}
+	seq, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, fmt.Errorf("serve: malformed cursor")
+	}
+	return seq, nil
+}
+
+// ListPage returns one page of job statuses in submission order,
+// optionally filtered by state. limit <= 0 selects the default page
+// size; anything above the cap is clamped. The returned cursor is ""
+// on the last page, otherwise pass it back to resume after the page's
+// final job.
+func (s *Server) ListPage(filter State, limit int, cursor string) ([]*Status, string, error) {
+	var after int64
+	if cursor != "" {
+		a, err := decodeCursor(cursor)
+		if err != nil {
+			return nil, "", err
+		}
+		after = a
+	}
+	if limit <= 0 {
+		limit = defaultListLimit
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	out := make([]*Status, 0, limit)
+	for i, j := range jobs {
+		if j.seq <= after {
+			continue
+		}
+		st := j.status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		out = append(out, st)
+		if len(out) == limit {
+			if i < len(jobs)-1 {
+				return out, encodeCursor(j.seq), nil
+			}
+			break
+		}
+	}
+	return out, "", nil
 }
 
 // Result returns a finished job's mask and report.
@@ -481,6 +591,8 @@ func (s *Server) execute(ctx context.Context, j *job) (*mosaic.LayoutResult, *mo
 		RetryBackoff: s.cfg.TileRetryBackoff,
 		Runner:       s.cfg.TileRunner,
 		Cache:        s.cfg.TileCache,
+		Artifact:     s.cfg.ArtifactStore,
+		ArtifactJob:  j.id,
 		OnTile: func(done, total int) {
 			j.mu.Lock()
 			j.prog.TilesDone = done

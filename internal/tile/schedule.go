@@ -27,6 +27,31 @@ type Request struct {
 	Sim     *sim.Simulator
 	Cfg     ilt.Config
 	Samples []geom.Sample
+
+	// Prov, when non-nil, is filled in by whoever produces the result:
+	// the cache decorator records the tier and content key it served
+	// from, and the cluster coordinator records which worker computed
+	// the tile. The scheduler owns the pointed-to value and resets it
+	// before each retry attempt, so a failed remote attempt never
+	// leaves stale attribution on the result that finally lands.
+	Prov *Provenance
+}
+
+// Provenance attributes one tile result: where it was computed and how
+// it was served. All fields are optional — an in-process, uncached run
+// legitimately attributes nothing.
+type Provenance struct {
+	// Worker is the cluster worker (advertised address) that computed
+	// the tile; empty means this process.
+	Worker string
+	// Tier is how the result was obtained: a cache tier ("mem", "disk",
+	// "flight", "miss"), "journal" for a result adopted from a resume
+	// journal, "empty" for a window with no geometry, or "" for a fresh
+	// computation with no cache in play.
+	Tier string
+	// Key is the tile-cache content address of the request (hex), set
+	// when a cache decorator was consulted.
+	Key string
 }
 
 // Runner executes one tile optimization. The scheduler is runner-agnostic:
@@ -178,6 +203,7 @@ type Result struct {
 	MaskGray *grid.Field // stitched continuous mask before binarization
 
 	Tiles      []*ilt.Result // per-tile results in plan (row-major) order
+	Prov       []Provenance  // per-tile attribution, parallel to Tiles
 	Workers    int           // worker bound actually used
 	SeamNM     float64       // seam band actually used (after clamping)
 	RuntimeSec float64       // wall time of the whole pipeline run
@@ -239,6 +265,7 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 	// Resume: tiles a previous run journaled are adopted as-is; only the
 	// remainder is scheduled.
 	results := make([]*ilt.Result, len(p.Tiles))
+	provs := make([]Provenance, len(p.Tiles))
 	resumed := 0
 	if opts.Journal != nil {
 		prior, err := opts.Journal.Load(p)
@@ -247,6 +274,7 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 		}
 		for i, res := range prior {
 			results[i] = res
+			provs[i] = Provenance{Tier: "journal"}
 			resumed++
 			tileJournalHits.Inc()
 		}
@@ -316,7 +344,9 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 				t := &p.Tiles[i]
 				tctx, sp := obs.StartSpan(ctx, "tile.optimize",
 					obs.Int("tile", i), obs.Int("col", t.Col), obs.Int("row", t.Row))
-				req := &Request{Plan: p, Tile: t, Sim: ws, Cfg: tcfg, Samples: samples[i]}
+				// provs[i] is race-free: exactly one worker claims index i
+				// (next.Add), and the slice is read only after wg.Wait.
+				req := &Request{Plan: p, Tile: t, Sim: ws, Cfg: tcfg, Samples: samples[i], Prov: &provs[i]}
 				res, err := p.optimizeTileRetry(tctx, runner, req, opts)
 				if err != nil {
 					sp.SetAttrs(obs.String("error", err.Error()))
@@ -332,6 +362,9 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 					}
 				}
 				results[i] = res
+				if len(t.Layout.Polys) == 0 && provs[i].Tier == "" {
+					provs[i].Tier = "empty"
+				}
 				tileOpts.Inc()
 				tileSeconds.Observe(sp.End().Seconds())
 				n := int(done.Add(1))
@@ -366,6 +399,7 @@ func (p *Plan) Optimize(ctx context.Context, ws *sim.Simulator, cfg ilt.Config, 
 		Mask:       mask,
 		MaskGray:   gray,
 		Tiles:      results,
+		Prov:       provs,
 		Workers:    workers,
 		SeamNM:     seamNM,
 		RuntimeSec: time.Since(start).Seconds(),
@@ -403,6 +437,9 @@ func (p *Plan) optimizeTileRetry(ctx context.Context, runner Runner, req *Reques
 			case <-time.After(wait):
 			}
 			backoff *= 2
+		}
+		if req.Prov != nil {
+			*req.Prov = Provenance{} // drop stale attribution from a failed attempt
 		}
 		if opts.tileFault != nil {
 			if err := opts.tileFault(req.Tile.Index, attempt); err != nil {

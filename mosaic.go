@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"mosaic/internal/artifact"
 	"mosaic/internal/bench"
 	"mosaic/internal/cache"
 	"mosaic/internal/gds"
@@ -121,6 +122,27 @@ type (
 	// TileCacheOptions configures a TileCache (disk directory, memory
 	// budget).
 	TileCacheOptions = cache.Options
+	// ArtifactStore is the durable provenance store: every completed run
+	// commits its tile results as content-addressed blobs anchored by a
+	// Merkle tree over their digests plus the canonical job manifest
+	// (see TileOptions.Artifact and OpenArtifactStore).
+	ArtifactStore = artifact.Store
+	// ArtifactRecord is one anchored run: job ID, manifest digest,
+	// Merkle root, and the per-tile leaves with attribution.
+	ArtifactRecord = artifact.Record
+	// ArtifactDigest is a SHA-256 content address in the artifact store.
+	ArtifactDigest = artifact.Digest
+	// ArtifactLeaf is one anchored tile result (digest + attribution).
+	ArtifactLeaf = artifact.Leaf
+	// ArtifactManifest is the canonical record of every input that
+	// determined a run's bits.
+	ArtifactManifest = artifact.Manifest
+	// VerifyReport is the outcome of re-proving a stored artifact from
+	// leaf bytes to its anchored Merkle root.
+	VerifyReport = artifact.VerifyReport
+	// TileProvenance attributes one tile result: the worker that
+	// computed it and the cache tier that served it.
+	TileProvenance = tile.Provenance
 )
 
 // OpenTileJournal opens (creating if absent) an on-disk tile journal for
@@ -135,6 +157,13 @@ func OpenTileJournal(path string) (*FileTileJournal, error) { return tile.OpenFi
 func OpenTileCache(dir string, memBytes int64) (*TileCache, error) {
 	return cache.Open(cache.Options{Dir: dir, MemBytes: memBytes})
 }
+
+// OpenArtifactStore opens (creating if absent) a durable provenance
+// store for TileOptions.Artifact. Every completed OptimizeLayout run
+// then commits its results as content-addressed blobs under a Merkle
+// anchor, queryable and verifiable afterwards (see internal/artifact).
+// Close it when the process is done; commits after Close fail.
+func OpenArtifactStore(dir string) (*ArtifactStore, error) { return artifact.Open(dir) }
 
 // Optimization modes.
 const (
@@ -348,6 +377,17 @@ type TileOptions struct {
 	// dispatch). Cached results are bit-identical to cold ones, so every
 	// other guarantee is unchanged. See OpenTileCache.
 	Cache *TileCache
+	// Artifact, when non-nil, commits the completed run to the
+	// provenance store: every tile result (and the untiled result)
+	// becomes a content-addressed blob, anchored by a Merkle tree over
+	// the digests plus the canonical job manifest. A commit failure
+	// fails the run — a run that claims provenance is auditable or it
+	// is not returned. See OpenArtifactStore.
+	Artifact *ArtifactStore
+	// ArtifactJob is the job ID the artifact record is anchored under;
+	// empty uses the layout name. The serving layer sets it to the
+	// submitted job's ID so GET /v1/jobs/{id}/provenance resolves.
+	ArtifactJob string
 }
 
 // LayoutResult is the outcome of OptimizeLayout: a mask covering the whole
@@ -361,6 +401,13 @@ type LayoutResult struct {
 	Workers    int       // worker bound actually used
 	SeamNM     float64   // cross-fade band actually used
 	RuntimeSec float64
+
+	// Provenance attributes each tile result (parallel to Tiles): the
+	// worker that computed it, the cache tier that served it.
+	Provenance []TileProvenance
+	// Artifact is the anchored provenance record when TileOptions.
+	// Artifact was set; nil otherwise.
+	Artifact *ArtifactRecord
 }
 
 // fitsGrid reports whether layout covers exactly the setup's simulation
@@ -413,13 +460,18 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		if err != nil {
 			return nil, err
 		}
-		return &LayoutResult{
+		out := &LayoutResult{
 			Mask:       res.Mask,
 			MaskGray:   res.MaskGray,
 			Tiles:      []*Result{res},
 			Workers:    1,
 			RuntimeSec: res.RuntimeSec,
-		}, nil
+			Provenance: []TileProvenance{{}},
+		}
+		if err := s.recordArtifact(opts, cfg, layout, out, s.Sim, nil); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	plan, ws, err := s.tilePlan(layout, opts)
 	if err != nil {
@@ -448,7 +500,7 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
-	return &LayoutResult{
+	out := &LayoutResult{
 		Mask:       res.Mask,
 		MaskGray:   res.MaskGray,
 		Tiled:      true,
@@ -456,7 +508,54 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		Workers:    res.Workers,
 		SeamNM:     res.SeamNM,
 		RuntimeSec: res.RuntimeSec,
-	}, nil
+		Provenance: res.Prov,
+	}
+	if err := s.recordArtifact(opts, cfg, layout, out, ws, plan); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// recordArtifact commits a completed run to the provenance store: one
+// blob per tile result (content-addressed, so repeated cells and warm
+// re-runs deduplicate), one blob for the canonical manifest, one
+// anchor record binding them under a Merkle root. A failure fails the
+// run — when provenance is requested, the result is auditable or it is
+// not returned. No-op when no store is configured.
+func (s *Setup) recordArtifact(opts TileOptions, cfg Config, layout *Layout, out *LayoutResult, ws *Simulator, plan *tile.Plan) error {
+	if opts.Artifact == nil {
+		return nil
+	}
+	man, err := artifact.NewManifest(layout, ws, cfg, plan, out.SeamNM).Encode()
+	if err != nil {
+		return fmt.Errorf("mosaic: recording artifact: %w", err)
+	}
+	leaves := make([]artifact.Leaf, len(out.Tiles))
+	for i, res := range out.Tiles {
+		payload, err := artifact.EncodeResult(res)
+		if err != nil {
+			return fmt.Errorf("mosaic: encoding tile %d artifact: %w", i, err)
+		}
+		d, err := opts.Artifact.PutBlob(payload)
+		if err != nil {
+			return fmt.Errorf("mosaic: storing tile %d artifact: %w", i, err)
+		}
+		leaves[i] = artifact.Leaf{Index: i, Blob: d}
+		if i < len(out.Provenance) {
+			p := out.Provenance[i]
+			leaves[i].Key, leaves[i].Worker, leaves[i].Tier = p.Key, p.Worker, p.Tier
+		}
+	}
+	jobID := opts.ArtifactJob
+	if jobID == "" {
+		jobID = layout.Name
+	}
+	rec, err := opts.Artifact.Commit(jobID, man, leaves)
+	if err != nil {
+		return fmt.Errorf("mosaic: anchoring artifact for %s: %w", jobID, err)
+	}
+	out.Artifact = rec
+	return nil
 }
 
 // EvaluateLayout scores a mask covering a layout of arbitrary extent:
