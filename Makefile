@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet staticcheck test build bench bench-compare serve-smoke cluster-smoke cache-smoke provenance-smoke
+.PHONY: check fmt vet staticcheck test build bench bench-compare serve-smoke cluster-smoke cache-smoke provenance-smoke warmstart-smoke
 
 # check is the tier-1 verification: formatting, static analysis, and the
 # full test suite under the race detector.
@@ -53,10 +53,17 @@ cache-smoke:
 provenance-smoke:
 	./scripts/provenance_smoke.sh
 
+# warmstart-smoke drives the warm-start pattern library end-to-end behind
+# mosaicd (tile cache off): an empty library must be byte-identical to
+# disabled, a translated repeat must be seeded and score no worse, and a
+# corrupt entry must be quarantined and recomputed across a restart.
+warmstart-smoke:
+	./scripts/warmstart_smoke.sh
+
 # bench runs the paper-table and convolution-engine benchmarks and archives
 # both a benchstat-compatible text file and a JSON rendering under results/,
 # stamped with today's date.
-BENCH_PATTERN ?= Table2|Table3|Convolve|Smooth|TilePipeline|TileCache
+BENCH_PATTERN ?= Table2|Table3|Convolve|Smooth|TilePipeline|TileCache|WarmStart
 BENCH_TIME ?= 1s
 BENCH_STAMP := $(shell date +%Y%m%d)
 

@@ -444,3 +444,65 @@ func BenchmarkAblationSmooth(b *testing.B) {
 func BenchmarkAblationMomentum(b *testing.B) {
 	benchmarkAblation(b, func(c *Config) { c.Momentum = 0.8 })
 }
+
+// BenchmarkWarmStartSeeded measures what the warm-start pattern library
+// buys on its target workload — a repeated cell with placement jitter:
+// "cold" optimizes each jittered placement from the rule-based init,
+// "seeded" retrieves the harvested converged mask and starts there. Both
+// report the optimizer iterations actually spent as iters/op, so the
+// archived JSON carries the iteration cut alongside the wall-clock one
+// (benchjson -compare gates on both).
+func BenchmarkWarmStartSeeded(b *testing.B) {
+	s := benchSetup(b)
+	cfg := DefaultConfig(ModeFast)
+	cfg.MaxIter = 12
+	cfg.GradKernels = 1
+	cfg.SRAFInit = false
+	cfg.Jumps = 0
+
+	cell := func(dx, dy float64) *Layout {
+		return &Layout{
+			Name:   "warm-bench",
+			SizeNM: 1024,
+			Polys: []Polygon{
+				Rect{X: 320 + dx, Y: 288 + dy, W: 192, H: 448}.Polygon(),
+				Rect{X: 624 + dx, Y: 288 + dy, W: 112, H: 448}.Polygon(),
+			},
+		}
+	}
+	// Pixel-aligned placement jitter, cycled per iteration.
+	jitter := [][2]float64{{8, 0}, {0, 8}, {8, 8}, {16, 8}, {8, 16}, {24, 0}}
+
+	run := func(b *testing.B, lib *WarmStartLibrary) {
+		var iters int64
+		for i := 0; i < b.N; i++ {
+			j := jitter[i%len(jitter)]
+			res, err := s.OptimizeLayout(context.Background(), cfg, cell(j[0], j[1]),
+				TileOptions{Workers: 1, WarmStart: lib})
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += int64(res.Iterations)
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	}
+
+	b.Run("cold", func(b *testing.B) { run(b, nil) })
+	b.Run("seeded", func(b *testing.B) {
+		lib, err := OpenWarmStartLibrary(b.TempDir(), 0, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the library with the cell's converged mask outside the
+		// timer; every jittered placement then hits at distance zero.
+		if _, err := s.OptimizeLayout(context.Background(), cfg, cell(0, 0),
+			TileOptions{Workers: 1, WarmStart: lib}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, lib)
+		if st := lib.Stats(); st.Hits == 0 {
+			b.Fatalf("seeded runs never hit the library: %+v", st)
+		}
+	})
+}

@@ -12,8 +12,9 @@
 // benchmarks present in both reports — benchmarks present in only one
 // (added or removed since the old report) are listed in dedicated
 // sections below it — and exits nonzero when any shared benchmark
-// regressed by more than -threshold percent in ns/op, so CI can gate on
-// it mechanically while treating noise-level drift as clean.
+// regressed by more than -threshold percent in ns/op or in optimizer
+// iterations ("iters/op", reported by the warm-start benchmarks), so CI
+// can gate on it mechanically while treating noise-level drift as clean.
 package main
 
 import (
@@ -118,6 +119,10 @@ func loadReport(path string) (Report, error) {
 	return rep, nil
 }
 
+// itersUnit is the custom go-bench unit benchmarks report optimizer
+// iteration counts under (b.ReportMetric(..., "iters/op")).
+const itersUnit = "iters/op"
+
 // compare writes a per-benchmark delta table for the benchmarks shared by
 // old and new, then dedicated "added" / "removed" sections for benchmarks
 // present in only one report (with their values, so a rename or a new
@@ -135,7 +140,7 @@ func compare(w io.Writer, oldRep, newRep Report, threshold float64) bool {
 	regressed := false
 
 	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
-	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\titers/op\t\n")
 	for _, nr := range newRep.Results {
 		newNames[nr.Name] = true
 		or, ok := oldBy[nr.Name]
@@ -152,7 +157,27 @@ func compare(w io.Writer, oldRep, newRep Report, threshold float64) bool {
 				note = fmt.Sprintf("REGRESSION (>%g%%)", threshold)
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, note)
+		// Optimizer iteration counts ride along as a custom unit (see
+		// BenchmarkWarmStartSeeded): a warm-start or stopping-rule change
+		// that silently costs iterations regresses here even when ns/op
+		// noise hides it.
+		iters := "-"
+		oi, ni := or.Extra[itersUnit], nr.Extra[itersUnit]
+		if oi > 0 || ni > 0 {
+			iters = fmt.Sprintf("%.1f -> %.1f", oi, ni)
+			if oi > 0 {
+				ipct := (ni - oi) / oi * 100
+				iters += fmt.Sprintf(" (%+.1f%%)", ipct)
+				if ipct > threshold {
+					regressed = true
+					if note != "" {
+						note += "; "
+					}
+					note += fmt.Sprintf("ITER REGRESSION (>%g%%)", threshold)
+				}
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, iters, note)
 	}
 	tw.Flush()
 

@@ -142,3 +142,39 @@ func TestCompareFlagsRegression(t *testing.T) {
 		t.Errorf("table missing REGRESSION marker:\n%s", buf.String())
 	}
 }
+
+func TestCompareIterRegression(t *testing.T) {
+	mk := func(iters float64) Report {
+		return Report{Results: []Result{{
+			Name:    "BenchmarkWarmStartSeeded",
+			NsPerOp: 1000,
+			Extra:   map[string]float64{itersUnit: iters},
+		}}}
+	}
+	// ns/op is flat, but the optimizer now burns twice the iterations:
+	// the comparison must catch it.
+	var buf strings.Builder
+	if !compare(&buf, mk(4), mk(8), 15) {
+		t.Fatalf("+100%% iters/op not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ITER REGRESSION") {
+		t.Errorf("table missing ITER REGRESSION marker:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "4.0 -> 8.0") {
+		t.Errorf("table missing the iteration delta:\n%s", buf.String())
+	}
+
+	// Fewer iterations is an improvement, not a regression.
+	buf.Reset()
+	if compare(&buf, mk(8), mk(4), 15) {
+		t.Fatalf("-50%% iters/op flagged as regression:\n%s", buf.String())
+	}
+
+	// Benchmarks without the unit keep a plain "-" column and never
+	// trip the iteration gate.
+	plain := Report{Results: []Result{{Name: "BenchmarkA", NsPerOp: 100}}}
+	buf.Reset()
+	if compare(&buf, plain, plain, 15) {
+		t.Fatalf("unit-less benchmark regressed:\n%s", buf.String())
+	}
+}

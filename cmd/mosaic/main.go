@@ -44,6 +44,7 @@ func main() {
 	out := flag.String("out", "mosaic-out", "output directory")
 	tracePerfetto := flag.String("trace-perfetto", "", "write the run's span tree as Perfetto trace_event JSON to this file")
 	cacheFlags := cli.AddCacheFlags(flag.CommandLine, 0) // off unless asked for: one-shot runs mostly benefit via -cache-dir
+	warmFlags := cli.AddWarmFlags(flag.CommandLine)
 	obsFlags := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -80,6 +81,13 @@ func main() {
 	// window; with -cache-dir a later run of the same (or an overlapping)
 	// layout serves its repeated cells from disk.
 	topts.Cache, err = cacheFlags.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// With -warm-lib each window is seeded from the nearest previously
+	// converged pattern (and harvested back), cutting iterations on
+	// layouts similar to past runs.
+	topts.WarmStart, err = warmFlags.Open()
 	if err != nil {
 		log.Fatal(err)
 	}

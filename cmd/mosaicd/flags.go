@@ -25,6 +25,7 @@ type options struct {
 	leaseTTL      time.Duration
 	heartbeatTTL  time.Duration
 	cache         *cli.CacheFlags
+	warm          *cli.WarmFlags
 	obs           *cli.ObsFlags
 }
 
@@ -46,6 +47,7 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.DurationVar(&o.leaseTTL, "lease-ttl", 5*time.Minute, "coordinator: how long one dispatched tile may run before reassignment")
 	fs.DurationVar(&o.heartbeatTTL, "heartbeat-ttl", 15*time.Second, "coordinator: how long a silent worker stays in the fleet")
 	o.cache = cli.AddCacheFlags(fs, 256) // jobs share the daemon cache: memory tier on by default
+	o.warm = cli.AddWarmFlags(fs)
 	o.obs = cli.AddObsFlags(fs)
 	return o
 }

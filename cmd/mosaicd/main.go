@@ -93,6 +93,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One warm-start library for the whole daemon: every completed job
+	// harvests its converged windows, and later jobs with similar
+	// patterns start their descent from them.
+	warmLib, err := o.warm.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// One artifact store for the whole daemon: every completed job anchors
 	// its provenance record here, queryable under /v1/artifacts and
 	// verifiable across restarts.
@@ -116,6 +124,7 @@ func main() {
 		TileRunner:    coord,
 		TileCache:     tileCache,
 		ArtifactStore: artifacts,
+		WarmStart:     warmLib,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -30,7 +30,7 @@ import (
 // changes, codec changes — so stale entries miss instead of serving the
 // old bits. The rule: if a change would fail a bit-identity test against
 // the previous build, it needs a version bump.
-const DigestVersion = 1
+const DigestVersion = 2
 
 // Key is the content address of one tile result: a SHA-256 over the
 // canonical encoding of the request (see RequestKey).
@@ -130,6 +130,19 @@ func RequestKey(req *tile.Request) Key {
 	d.f64(c.EPESampleNM)
 	d.f64(c.DefocusNM)
 	d.f64(c.DoseDelta)
+	d.f64(c.ObjTol)
+	// A warm-start seed determines the descent trajectory, so seeded and
+	// unseeded runs of one window must occupy distinct entries.
+	if c.SeedMask != nil {
+		d.boolean(true)
+		d.i64(int64(c.SeedMask.W))
+		d.i64(int64(c.SeedMask.H))
+		for _, v := range c.SeedMask.Data {
+			d.f64(v)
+		}
+	} else {
+		d.boolean(false)
+	}
 
 	l := req.Tile.Layout
 	d.f64(l.SizeNM)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mosaic/internal/geom"
+	"mosaic/internal/grid"
 	"mosaic/internal/ilt"
 	"mosaic/internal/optics"
 	"mosaic/internal/resist"
@@ -82,6 +83,12 @@ func TestRequestKeySensitivity(t *testing.T) {
 		{"defocus", func(r *tile.Request) { r.Cfg.DefocusNM += 5 }},
 		{"srafInit", func(r *tile.Request) { r.Cfg.SRAFInit = !r.Cfg.SRAFInit }},
 		{"gradKernels", func(r *tile.Request) { r.Cfg.GradKernels++ }},
+		{"objTol", func(r *tile.Request) { r.Cfg.ObjTol = 1e-6 }},
+		{"seedMask", func(r *tile.Request) {
+			seed := grid.New(r.Plan.WindowPx, r.Plan.WindowPx)
+			seed.Data[0] = 0.5
+			r.Cfg.SeedMask = seed
+		}},
 		{"polyMoved", func(r *tile.Request) { r.Tile.Layout.Polys[0][0].X += 8 }},
 		{"polyDropped", func(r *tile.Request) { r.Tile.Layout.Polys = r.Tile.Layout.Polys[:1] }},
 		{"windowSize", func(r *tile.Request) { r.Tile.Layout.SizeNM = 1024 }},
@@ -95,6 +102,23 @@ func TestRequestKeySensitivity(t *testing.T) {
 				t.Fatalf("%s does not affect the digest: a config change would serve stale bits", tc.name)
 			}
 		})
+	}
+}
+
+// TestRequestKeySeedBits pins that the digest covers the warm-start
+// seed's values, not just its presence: two requests seeded with
+// different masks must occupy distinct cache entries, because the seed
+// determines the whole descent trajectory.
+func TestRequestKeySeedBits(t *testing.T) {
+	seeded := func(v float64) Key {
+		return RequestKey(digestReq(func(r *tile.Request) {
+			seed := grid.New(r.Plan.WindowPx, r.Plan.WindowPx)
+			seed.Data[0] = v
+			r.Cfg.SeedMask = seed
+		}))
+	}
+	if seeded(0.5) == seeded(0.25) {
+		t.Fatal("two different seeds collided on one cache key")
 	}
 }
 

@@ -22,7 +22,8 @@ import (
 //	[4] length  (uint32 LE; payload bytes)
 //	[4] crc32   (IEEE, over the payload)
 //	[n] payload: version, windowPx, objective, iterations, runtimeSec,
-//	    then the continuous mask as IEEE-754 bit patterns (8-byte LE)
+//	    seeded, then the continuous mask as IEEE-754 bit patterns
+//	    (8-byte LE)
 //
 // The binary mask is re-derived by thresholding on read, exactly as the
 // journal and cluster codecs do, so a cached result is indistinguishable
@@ -35,7 +36,7 @@ import (
 // a failed run.
 const (
 	diskMagic   uint32 = 0x4543544d // "MTCE"
-	diskVersion        = 1
+	diskVersion        = 2
 
 	// maxEntryPayload bounds an entry before allocation, like the cluster
 	// codec's frame cap: a corrupt length field must not OOM the process.
@@ -77,6 +78,11 @@ func (s *Store) diskPut(key Key, res *ilt.Result) {
 	w64(math.Float64bits(res.Objective))
 	w64(uint64(res.Iterations))
 	w64(math.Float64bits(res.RuntimeSec))
+	if res.Seeded {
+		w64(1)
+	} else {
+		w64(0)
+	}
 	for _, v := range res.MaskGray.Data {
 		w64(math.Float64bits(v))
 	}
@@ -151,7 +157,7 @@ func decodeEntry(data []byte) (*ilt.Result, error) {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[8:]) {
 		return nil, fmt.Errorf("entry CRC mismatch")
 	}
-	if len(payload) < 40 {
+	if len(payload) < 48 {
 		return nil, fmt.Errorf("entry payload is %d bytes, shorter than its scalars", len(payload))
 	}
 	r64 := func(off int) uint64 { return binary.LittleEndian.Uint64(payload[off:]) }
@@ -159,17 +165,18 @@ func decodeEntry(data []byte) (*ilt.Result, error) {
 		return nil, fmt.Errorf("entry version %d, want %d", v, diskVersion)
 	}
 	w := int(int64(r64(8)))
-	if w <= 0 || w > 1<<15 || len(payload) != 40+8*w*w {
+	if w <= 0 || w > 1<<15 || len(payload) != 48+8*w*w {
 		return nil, fmt.Errorf("payload length %d does not fit a %d px window", len(payload), w)
 	}
 	res := &ilt.Result{
 		Objective:  math.Float64frombits(r64(16)),
 		Iterations: int(int64(r64(24))),
 		RuntimeSec: math.Float64frombits(r64(32)),
+		Seeded:     r64(40) != 0,
 		MaskGray:   grid.New(w, w),
 	}
 	for i := range res.MaskGray.Data {
-		res.MaskGray.Data[i] = math.Float64frombits(r64(40 + 8*i))
+		res.MaskGray.Data[i] = math.Float64frombits(r64(48 + 8*i))
 	}
 	res.Mask = res.MaskGray.Threshold(0.5)
 	return res, nil

@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"mosaic/internal/ilt"
+	"mosaic/internal/warmstart"
+)
+
+// WarmFlags is the warm-start library flag trio shared by the commands
+// that run optimizations:
+//
+//	-warm-lib DIR      pattern library directory (sharded entries, atomic
+//	                   writes, corrupt entries quarantined and recomputed)
+//	-warm-max-dist D   signature distance threshold for retrieval;
+//	                   0 = warmstart.DefaultMaxDist
+//	-warm-harvest      write converged masks back into the library
+//
+// Warm-start is off entirely when -warm-lib is unset.
+type WarmFlags struct {
+	Lib     string
+	MaxDist float64
+	Harvest bool
+}
+
+// AddWarmFlags registers the warm-start flags on fs. Harvesting defaults
+// on: a library that only reads never pays off.
+func AddWarmFlags(fs *flag.FlagSet) *WarmFlags {
+	f := &WarmFlags{}
+	fs.StringVar(&f.Lib, "warm-lib", "", "warm-start pattern library directory (empty = warm-start off)")
+	fs.Float64Var(&f.MaxDist, "warm-max-dist", 0, "max signature distance for a warm-start match (0 = default)")
+	fs.BoolVar(&f.Harvest, "warm-harvest", true, "harvest converged masks into the warm-start library")
+	return f
+}
+
+// Open builds the library the parsed flags describe, or nil when
+// warm-start is off. Invalid values — a negative distance, an unwritable
+// directory — surface as *ilt.ConfigError naming the flag.
+func (f *WarmFlags) Open() (*warmstart.Library, error) {
+	if f.MaxDist < 0 {
+		return nil, &ilt.ConfigError{Field: "warm-max-dist", Reason: fmt.Sprintf("must be >= 0 (0 = default), got %g", f.MaxDist)}
+	}
+	if f.Lib == "" {
+		return nil, nil
+	}
+	lib, err := warmstart.Open(warmstart.Options{Dir: f.Lib, MaxDist: f.MaxDist, Harvest: f.Harvest})
+	if err != nil {
+		var cerr *ilt.ConfigError
+		if errors.As(err, &cerr) && cerr.Field == "WarmStart.Dir" {
+			return nil, &ilt.ConfigError{Field: "warm-lib", Reason: cerr.Reason}
+		}
+		return nil, fmt.Errorf("opening warm-start library: %w", err)
+	}
+	return lib, nil
+}

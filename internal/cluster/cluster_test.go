@@ -253,6 +253,56 @@ func TestTileJobCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTileJobCodecSeedRoundTrip pins that a warm-start seed and its
+// plateau tolerance survive the wire bit-exactly: a coordinator that
+// retrieved a library match must hand remote workers the identical
+// starting point, or distributed runs diverge from local ones.
+func TestTileJobCodecSeedRoundTrip(t *testing.T) {
+	env := sharedEnv(t)
+	seed := grid.New(env.plan.WindowPx, env.plan.WindowPx)
+	vals := []float64{0, 1, 0.5, 1.0 / 3.0, math.Pi / 4, 1e-300}
+	for i := range seed.Data {
+		seed.Data[i] = vals[i%len(vals)]
+	}
+	cfg := env.cfg
+	cfg.ObjTol = 1e-6
+	cfg.SeedMask = seed
+	req := &tile.Request{Plan: env.plan, Tile: &env.plan.Tiles[0], Sim: env.ws, Cfg: cfg}
+
+	job, err := decodeTileJob(encodeTileJob(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Cfg.ObjTol != cfg.ObjTol {
+		t.Fatalf("ObjTol did not round trip: %g != %g", job.Cfg.ObjTol, cfg.ObjTol)
+	}
+	if job.Cfg.SeedMask == nil || job.Cfg.SeedMask.W != seed.W || job.Cfg.SeedMask.H != seed.H {
+		t.Fatalf("seed mask did not round trip: %+v", job.Cfg.SeedMask)
+	}
+	for i, v := range seed.Data {
+		if job.Cfg.SeedMask.Data[i] != v {
+			t.Fatalf("seed value %d drifted: %g != %g (bit-exactness broken)", i, job.Cfg.SeedMask.Data[i], v)
+		}
+	}
+
+	// An unseeded job must still decode with a nil seed (the flag byte,
+	// not an empty grid).
+	plain, err := decodeTileJob(encodeTileJob(&tile.Request{Plan: env.plan, Tile: &env.plan.Tiles[0], Sim: env.ws, Cfg: env.cfg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cfg.SeedMask != nil {
+		t.Fatal("unseeded job decoded with a seed attached")
+	}
+
+	// A seed section whose claimed edge overruns the payload must be
+	// rejected before allocation.
+	payload := encodeTileJob(req)
+	if _, err := decodeTileJob(payload[:len(payload)-8]); err == nil {
+		t.Fatal("truncated seed section accepted")
+	}
+}
+
 func TestTileResultCodecRoundTrip(t *testing.T) {
 	g := grid.New(8, 8)
 	vals := []float64{0, 1, 0.5, 1.0 / 3.0, math.Pi, 1e-308, math.Nextafter(0.5, 1)}
@@ -260,6 +310,15 @@ func TestTileResultCodecRoundTrip(t *testing.T) {
 		g.Data[i] = vals[i%len(vals)]
 	}
 	in := &ilt.Result{MaskGray: g, Objective: 42.125, Iterations: 7, RuntimeSec: 1.5}
+	// Seeded rides the result frame so the coordinator's provenance and
+	// fallback accounting see what the remote worker's probe decided.
+	seeded, err := encodeTileResult(4, &ilt.Result{MaskGray: g, Seeded: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sres, _, err := decodeTileResult(seeded); err != nil || !sres.Seeded {
+		t.Fatalf("Seeded flag did not round trip: %+v err=%v", sres, err)
+	}
 	payload, err := encodeTileResult(3, in, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -270,6 +329,9 @@ func TestTileResultCodecRoundTrip(t *testing.T) {
 	}
 	if idx != 3 || out.Objective != 42.125 || out.Iterations != 7 || out.RuntimeSec != 1.5 {
 		t.Fatalf("scalars did not round trip: idx=%d %+v", idx, out)
+	}
+	if out.Seeded {
+		t.Fatal("unseeded result decoded as seeded")
 	}
 	for i, v := range g.Data {
 		if out.MaskGray.Data[i] != v {

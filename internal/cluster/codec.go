@@ -228,6 +228,7 @@ func encodeTileJob(req *tile.Request) []byte {
 	w.f64(c.EPESampleNM)
 	w.f64(c.DefocusNM)
 	w.f64(c.DoseDelta)
+	w.f64(c.ObjTol)
 
 	l := req.Tile.Layout
 	w.str(l.Name)
@@ -248,6 +249,18 @@ func encodeTileJob(req *tile.Request) []byte {
 		w.boolean(s.Horizontal)
 		w.f64(s.InwardX)
 		w.f64(s.InwardY)
+	}
+
+	// Warm-start seed: the retrieved mask must cross the wire so a remote
+	// worker starts its descent exactly where a local run would.
+	if c.SeedMask != nil {
+		w.boolean(true)
+		w.i64(int64(c.SeedMask.W))
+		for _, v := range c.SeedMask.Data {
+			w.f64(v)
+		}
+	} else {
+		w.boolean(false)
 	}
 	return w.b.Bytes()
 }
@@ -296,6 +309,7 @@ func decodeTileJob(payload []byte) (*tileJob, error) {
 	c.EPESampleNM = r.f64()
 	c.DefocusNM = r.f64()
 	c.DoseDelta = r.f64()
+	c.ObjTol = r.f64()
 
 	j.Layout = &geom.Layout{Name: r.str(), SizeNM: r.f64()}
 	nPolys := r.count(8)
@@ -318,6 +332,20 @@ func decodeTileJob(payload []byte) (*tileJob, error) {
 		s.Horizontal = r.boolean()
 		s.InwardX = r.f64()
 		s.InwardY = r.f64()
+	}
+
+	if r.boolean() && r.err == nil {
+		sw := int(r.i64())
+		if r.err == nil && (sw <= 0 || sw > 1<<15 || sw*sw > (len(payload)-r.off)/8) {
+			r.fail("seed mask size %d px exceeds the payload", int64(sw))
+		}
+		if r.err == nil {
+			seed := grid.New(sw, sw)
+			for i := range seed.Data {
+				seed.Data[i] = r.f64()
+			}
+			c.SeedMask = seed
+		}
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -425,6 +453,7 @@ func encodeTileResult(index int, res *ilt.Result, spans []obs.SpanEvent) ([]byte
 	w.f64(res.Objective)
 	w.i64(int64(res.Iterations))
 	w.f64(res.RuntimeSec)
+	w.boolean(res.Seeded)
 	for _, v := range res.MaskGray.Data {
 		w.f64(v)
 	}
@@ -445,11 +474,12 @@ func decodeTileResult(payload []byte) (int, *ilt.Result, []obs.SpanEvent, error)
 		Objective:  r.f64(),
 		Iterations: int(r.i64()),
 		RuntimeSec: r.f64(),
+		Seeded:     r.boolean(),
 	}
 	if r.err != nil {
 		return 0, nil, nil, r.err
 	}
-	if wpx <= 0 || wpx > 1<<15 || len(payload) < 40+8*wpx*wpx {
+	if wpx <= 0 || wpx > 1<<15 || len(payload) < 48+8*wpx*wpx {
 		return 0, nil, nil, fmt.Errorf("cluster: result payload %d bytes does not fit a %d px window", len(payload), wpx)
 	}
 	res.MaskGray = grid.New(wpx, wpx)

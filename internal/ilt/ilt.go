@@ -90,6 +90,26 @@ type Config struct {
 	SRAFInit  bool       // seed with rule-based SRAF mask (Alg. 1 line 2)
 	SRAFRules sraf.Rules // rules used when SRAFInit is set
 
+	// SeedMask, when non-nil, warm-starts the descent from a retrieved
+	// continuous mask (e.g. a pattern-library hit) instead of the Alg. 1
+	// line 2 rule-based initial mask. The seed is adopted only when its
+	// surrogate objective probes no worse than the default
+	// initialization's after the Eq. 8 round trip; a rejected seed falls
+	// back to the rule-based init and the run is bit-identical to an
+	// unseeded one. Must match the simulator grid. Ignored when Resume is
+	// set (a checkpoint already carries its own P state).
+	SeedMask *grid.Field
+
+	// ObjTol, when positive, adds a plateau stop: once the best proxy
+	// objective has failed to improve by more than ObjTol for two
+	// consecutive iterations the run takes the GradTol exit (consuming
+	// jumps the same way), so a warm-started run that begins near its
+	// optimum stops after a few iterations instead of exhausting MaxIter.
+	// 0 disables it (the paper's behavior, bit-identical to builds
+	// without the knob). Plateau progress is not captured in snapshots; a
+	// resumed run restarts its stall counter.
+	ObjTol float64
+
 	// GradKernels selects the imaging fidelity inside the descent loop:
 	// 0 uses the Eq. 21 combined single kernel (the paper's convolution
 	// speedup, cheapest); n > 0 uses the top-n SOCS kernels, renormalized
@@ -203,6 +223,10 @@ type Result struct {
 	MaskGray   *grid.Field // continuous relaxed mask at the best iterate
 	Objective  float64     // Eq. 7 proxy score of the best iterate
 	Iterations int
+	// Seeded reports that the run started from Config.SeedMask — the
+	// warm-start probe accepted the seed. False when no seed was given or
+	// the probe fell back to the rule-based init.
+	Seeded     bool
 	History    []IterStats
 	RuntimeSec float64
 	// DiagnosticsSec is the time spent in the full-SOCS TrackMetrics
@@ -242,6 +266,10 @@ func New(s *sim.Simulator, cfg Config) (*Optimizer, error) {
 		return nil, &ConfigError{Field: "EPEThresholdNM", Reason: "must be positive"}
 	case cfg.EPESampleNM <= 0:
 		return nil, &ConfigError{Field: "EPESampleNM", Reason: "must be positive"}
+	case cfg.ObjTol < 0:
+		return nil, &ConfigError{Field: "ObjTol", Reason: fmt.Sprintf("plateau tolerance must be >= 0, got %g", cfg.ObjTol)}
+	case cfg.SeedMask != nil && (cfg.SeedMask.W != s.Cfg.GridSize || cfg.SeedMask.H != s.Cfg.GridSize):
+		return nil, &ConfigError{Field: "SeedMask", Reason: fmt.Sprintf("seed raster is %dx%d but the simulator grid is %dx%d", cfg.SeedMask.W, cfg.SeedMask.H, s.Cfg.GridSize, s.Cfg.GridSize)}
 	}
 	return &Optimizer{Sim: s, Cfg: cfg}, nil
 }
@@ -312,7 +340,13 @@ func (o *Optimizer) RunRasterCtx(ctx context.Context, layout *geom.Layout, targe
 
 // Optimizer metrics: iteration count plus the per-iteration and per-run
 // span histograms fed below.
-var iterations = obs.NewCounter("ilt_iterations_total")
+var (
+	iterations = obs.NewCounter("ilt_iterations_total")
+	// iterHist records iterations-to-converge per run, making warm-start
+	// gains (and plateau-stop behavior) visible in /metrics.
+	iterHist = obs.NewHistogram("ilt_iterations",
+		1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+)
 
 // runRaster is the core loop of Alg. 1 on a rasterized target.
 func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *grid.Field, samples []geom.Sample) (*Result, error) {
@@ -368,11 +402,19 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 		iter = snap.Iter
 	} else {
 		// Alg. 1 lines 2-3: initial mask and unconstrained variables P with
-		// M = sig(theta_M * P) (Eq. 8).
+		// M = sig(theta_M * P) (Eq. 8). A warm-start seed replaces the
+		// rule-based mask only when its probe objective is no worse; a
+		// rejected seed leaves the run bit-identical to an unseeded one.
 		m0 := o.InitialMask(target)
-		p = paramsFromMask(m0, cfg.ThetaM)
+		if cfg.SeedMask != nil && o.probeSeed(cfg.SeedMask, m0, models, target, samples) {
+			best.Seeded = true
+			p = paramsFromSeed(cfg.SeedMask, cfg.ThetaM)
+		} else {
+			p = paramsFromMask(m0, cfg.ThetaM)
+		}
 		mask = maskFromParams(p, cfg.ThetaM)
 	}
+	stall := 0 // consecutive iterations without an ObjTol-sized improvement
 
 	for ; iter < cfg.MaxIter; iter++ {
 		// Honor cancellation between iterations: the forward model and
@@ -439,6 +481,7 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 		// Alg. 1 line 9: remember the iterate with the lowest objective
 		// value, measured as the Eq. 7 quantity (proxy score) with the
 		// surrogate F breaking ties.
+		improved := proxyScore < best.Objective-cfg.ObjTol
 		if proxyScore < best.Objective ||
 			(proxyScore == best.Objective && state.objective < bestSurrogate) {
 			best.Objective = proxyScore
@@ -446,9 +489,22 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 			best.MaskGray = mask.Clone()
 		}
 
+		// Plateau detection (ObjTol): two consecutive iterations without a
+		// better-than-tolerance improvement of the best objective count as
+		// converged and take the same exit as GradTol below.
+		plateau := false
+		if cfg.ObjTol > 0 {
+			if improved {
+				stall = 0
+			} else {
+				stall++
+			}
+			plateau = stall >= 2
+		}
+
 		// Alg. 1 line 8: stop at a local optimum... unless a jump is left
 		// (the jump technique of [12] enlarges the step to escape).
-		if gradRMS < cfg.GradTol {
+		if gradRMS < cfg.GradTol || plateau {
 			if jumps == 0 {
 				grid.Put(grad)
 				iter++
@@ -456,6 +512,7 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 				break
 			}
 			jumps--
+			stall = 0
 			step = cfg.StepSize * cfg.JumpFactor
 		}
 
@@ -496,6 +553,7 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 	}
 	best.Mask = best.MaskGray.Threshold(0.5)
 	best.Iterations = iter
+	iterHist.Observe(float64(iter))
 	best.RuntimeSec = time.Since(start).Seconds() - diagSec
 	best.DiagnosticsSec = diagSec
 	runSpan.End()
@@ -504,6 +562,25 @@ func (o *Optimizer) runRaster(ctx context.Context, layout *geom.Layout, target *
 		"runtime_sec", best.RuntimeSec, "diagnostics_sec", diagSec,
 		"objective", best.Objective)
 	return best, nil
+}
+
+// probeSeed compares the surrogate objective of the warm-start seed
+// against the default initialization's, both after the Eq. 8 round trip
+// the descent applies (paramsFromMask clamps to (eps, 1-eps), so each
+// probe evaluates exactly the mask iteration 0 would see). Ties go to
+// the seed: an exact repeat of a library pattern then starts from its
+// converged mask.
+func (o *Optimizer) probeSeed(seed, def *grid.Field, models []cornerModel, target *grid.Field, samples []geom.Sample) bool {
+	cfg := o.Cfg
+	sm := maskFromParams(paramsFromSeed(seed, cfg.ThetaM), cfg.ThetaM)
+	ss := o.evalState(sm, models, target, samples)
+	seedObj := ss.objective
+	ss.release()
+	dm := maskFromParams(paramsFromMask(def, cfg.ThetaM), cfg.ThetaM)
+	ds := o.evalState(dm, models, target, samples)
+	defObj := ds.objective
+	ds.release()
+	return seedObj <= defObj
 }
 
 func (o *Optimizer) metricParams() metrics.Params {
@@ -519,6 +596,27 @@ func (o *Optimizer) metricParams() metrics.Params {
 // (eps, 1-eps) so the logit stays finite.
 func paramsFromMask(m *grid.Field, thetaM float64) *grid.Field {
 	const eps = 0.02
+	p := grid.NewLike(m)
+	for i, v := range m.Data {
+		if v < eps {
+			v = eps
+		} else if v > 1-eps {
+			v = 1 - eps
+		}
+		p.Data[i] = math.Log(v/(1-v)) / thetaM
+	}
+	return p
+}
+
+// paramsFromSeed is paramsFromMask with a near-lossless clamp: a
+// warm-start seed is an already-converged continuous mask, and the
+// rule-based init's wide eps would pull its saturated pixels back toward
+// the threshold — degrading the seed before iteration 0 ever evaluates
+// it. Only exact 0/1 (where the logit diverges) are nudged, so the
+// seeded run's first iterate reproduces the stored mask's quality and
+// best-iterate selection can never end below it.
+func paramsFromSeed(m *grid.Field, thetaM float64) *grid.Field {
+	const eps = 1e-12
 	p := grid.NewLike(m)
 	for i, v := range m.Data {
 		if v < eps {

@@ -165,6 +165,7 @@ type ResultSummary struct {
 	PVBandNM2       float64 `json:"pvband_nm2"`
 	ShapeViolations int     `json:"shape_violations"`
 	RuntimeSec      float64 `json:"runtime_sec"`
+	Iterations      int     `json:"iterations"`
 	Tiled           bool    `json:"tiled"`
 	MaskW           int     `json:"mask_w"`
 	MaskH           int     `json:"mask_h"`
@@ -246,6 +247,7 @@ func (j *job) summary() *ResultSummary {
 		PVBandNM2:       j.report.PVBandNM2,
 		ShapeViolations: j.report.ShapeViolations,
 		RuntimeSec:      j.report.RuntimeSec,
+		Iterations:      j.result.Iterations,
 		Tiled:           j.result.Tiled,
 		MaskW:           j.result.Mask.W,
 		MaskH:           j.result.Mask.H,

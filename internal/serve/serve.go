@@ -109,6 +109,11 @@ type Config struct {
 	// GET /v1/jobs/{id}/provenance and the /v1/artifacts API. See
 	// mosaic.OpenArtifactStore.
 	ArtifactStore *mosaic.ArtifactStore
+	// WarmStart, when non-nil, is the pattern library shared by every
+	// job: windows near a stored pattern are seeded from it, and every
+	// completed window is harvested back, so the daemon's library grows
+	// with its traffic. See mosaic.OpenWarmStartLibrary.
+	WarmStart *mosaic.WarmStartLibrary
 }
 
 // Server owns the job queue and its workers.
@@ -593,6 +598,7 @@ func (s *Server) execute(ctx context.Context, j *job) (*mosaic.LayoutResult, *mo
 		Cache:        s.cfg.TileCache,
 		Artifact:     s.cfg.ArtifactStore,
 		ArtifactJob:  j.id,
+		WarmStart:    s.cfg.WarmStart,
 		OnTile: func(done, total int) {
 			j.mu.Lock()
 			j.prog.TilesDone = done

@@ -52,6 +52,10 @@ type Provenance struct {
 	// Key is the tile-cache content address of the request (hex), set
 	// when a cache decorator was consulted.
 	Key string
+	// Seed is the warm-start library entry (content key, hex) the tile's
+	// optimization was seeded from; empty when the run started cold or
+	// the retrieved seed was rejected by the optimizer's probe.
+	Seed string
 }
 
 // Runner executes one tile optimization. The scheduler is runner-agnostic:

@@ -1,0 +1,337 @@
+package warmstart
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mosaic/internal/geom"
+	"mosaic/internal/grid"
+	"mosaic/internal/ilt"
+	"mosaic/internal/optics"
+	"mosaic/internal/resist"
+	"mosaic/internal/sim"
+)
+
+const (
+	testWindowPx = 64
+	testPixelNM  = 8
+)
+
+func testSim(t *testing.T) *sim.Simulator {
+	t.Helper()
+	c := optics.Default()
+	c.GridSize = testWindowPx
+	c.PixelNM = testPixelNM
+	c.Kernels = 4
+	s, err := sim.New(c, resist.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// testLayout is a two-rect cell whose nm coordinates are pixel-aligned,
+// shifted by (dx, dy) nm inside the 512 nm window.
+func testLayout(dx, dy float64) *geom.Layout {
+	return &geom.Layout{
+		Name:   "warm-test",
+		SizeNM: testWindowPx * testPixelNM,
+		Polys: []geom.Polygon{
+			geom.Rect{X: 32 + dx, Y: 48 + dy, W: 96, H: 176}.Polygon(),
+			geom.Rect{X: 160 + dx, Y: 48 + dy, W: 56, H: 176}.Polygon(),
+		},
+	}
+}
+
+func TestSignatureTranslationInvariance(t *testing.T) {
+	a, ax, ay := Compute(testLayout(0, 0), testWindowPx, testPixelNM)
+	b, bx, by := Compute(testLayout(64, 8), testWindowPx, testPixelNM)
+	if bx-ax != 64/testPixelNM || by-ay != 8/testPixelNM {
+		t.Fatalf("anchor offsets (%d,%d) -> (%d,%d), want shift of (8,1) px", ax, ay, bx, by)
+	}
+	if d := a.Distance(b); d != 0 {
+		t.Fatalf("translated copy measured distance %g, want 0", d)
+	}
+	if a.Desc != b.Desc {
+		t.Fatal("translated copy produced a different descriptor")
+	}
+
+	// A genuinely different pattern must be far from the cell.
+	c, _, _ := Compute(&geom.Layout{
+		Name:   "other",
+		SizeNM: testWindowPx * testPixelNM,
+		Polys:  []geom.Polygon{geom.Rect{X: 0, Y: 0, W: 400, H: 400}.Polygon()},
+	}, testWindowPx, testPixelNM)
+	if d := a.Distance(c); d < DefaultMaxDist {
+		t.Fatalf("distinct patterns measured distance %g, want >= %g", d, DefaultMaxDist)
+	}
+}
+
+func TestTranslateZeroFill(t *testing.T) {
+	src := grid.New(4, 4)
+	for i := range src.Data {
+		src.Data[i] = float64(i + 1)
+	}
+	out := Translate(src, 1, -1)
+	// (x, y) reads from (x-1, y+1); out-of-frame reads are zero.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := 0.0
+			if x-1 >= 0 && y+1 < 4 {
+				want = src.Data[(y+1)*4+x-1]
+			}
+			if got := out.Data[y*4+x]; got != want {
+				t.Fatalf("Translate(1,-1)[%d,%d] = %g, want %g", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	var cerr *ilt.ConfigError
+	if _, err := Open(Options{Dir: ""}); !errors.As(err, &cerr) || cerr.Field != "WarmStart.Dir" {
+		t.Fatalf("empty dir: got %v, want ConfigError on WarmStart.Dir", err)
+	}
+	if _, err := Open(Options{Dir: t.TempDir(), MaxDist: -0.1}); !errors.As(err, &cerr) || cerr.Field != "WarmStart.MaxDist" {
+		t.Fatalf("negative MaxDist: got %v, want ConfigError on WarmStart.MaxDist", err)
+	}
+	if _, err := Open(Options{Dir: t.TempDir(), ObjTol: -1}); !errors.As(err, &cerr) || cerr.Field != "WarmStart.ObjTol" {
+		t.Fatalf("negative ObjTol: got %v, want ConfigError on WarmStart.ObjTol", err)
+	}
+
+	// A path under a regular file cannot be created (ENOTDIR), which holds
+	// even when the test runs as root (a read-only mode bit would not).
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: filepath.Join(file, "lib")}); !errors.As(err, &cerr) || cerr.Field != "WarmStart.Dir" {
+		t.Fatalf("unusable dir: got %v, want ConfigError on WarmStart.Dir", err)
+	}
+}
+
+// harvestOne pushes one fabricated converged window through the real
+// Prepare/Finish path and returns the attempt.
+func harvestOne(t *testing.T, l *Library, ws *sim.Simulator, cfg ilt.Config, layout *geom.Layout, mask *grid.Field, epoch int64) *Attempt {
+	t.Helper()
+	runCfg, att := l.Prepare(epoch, cfg, ws, testWindowPx, testPixelNM, layout)
+	if att == nil {
+		t.Fatal("Prepare returned a nil attempt for a non-empty window")
+	}
+	att.Finish(&ilt.Result{MaskGray: mask, Iterations: 5, Seeded: runCfg.SeedMask != nil})
+	return att
+}
+
+func TestHarvestRetrieveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ws := testSim(t)
+	cfg := ilt.DefaultConfig(ilt.ModeFast)
+
+	mask := grid.New(testWindowPx, testWindowPx)
+	for i := range mask.Data {
+		mask.Data[i] = float64(i%7) / 7
+	}
+
+	l, err := Open(Options{Dir: dir, Harvest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := harvestOne(t, l, ws, cfg, testLayout(0, 0), mask, l.Epoch())
+	if att.SeedKey != "" {
+		t.Fatal("first window hit an empty library")
+	}
+	if st := l.Stats(); st.Harvested != 1 || st.Entries != 1 || st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after harvest: %+v", st)
+	}
+
+	// Re-open from disk: the entry must survive the process boundary, and
+	// a translated copy of the cell must hit and carry the mask into the
+	// new window's frame.
+	l2, err := Open(Options{Dir: dir, Harvest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l2.Stats(); st.Entries != 1 {
+		t.Fatalf("reloaded library has %d entries, want 1", st.Entries)
+	}
+	runCfg, att2 := l2.Prepare(l2.Epoch(), cfg, ws, testWindowPx, testPixelNM, testLayout(64, 8))
+	if att2 == nil || att2.SeedKey == "" {
+		t.Fatalf("translated copy missed: %+v", att2)
+	}
+	if att2.Dist != 0 {
+		t.Fatalf("translated copy matched at distance %g, want 0", att2.Dist)
+	}
+	if runCfg.SeedMask == nil {
+		t.Fatal("hit did not attach a seed")
+	}
+	if runCfg.ObjTol != DefaultObjTol {
+		t.Fatalf("hit attached ObjTol %g, want default %g", runCfg.ObjTol, DefaultObjTol)
+	}
+	want := Translate(mask, 64/testPixelNM, 8/testPixelNM)
+	if !runCfg.SeedMask.Equal(want, 0) {
+		t.Fatal("retrieved seed is not the stored mask translated into the new frame")
+	}
+
+	// Harvesting the translated copy dedups: the anchor offset is not part
+	// of the content key.
+	att2.Finish(&ilt.Result{MaskGray: mask, Iterations: 2, Seeded: true})
+	if st := l2.Stats(); st.Entries != 1 || st.Harvested != 0 {
+		t.Fatalf("translated repeat was not deduped: %+v", st)
+	}
+}
+
+func TestEpochGuardHidesInRunHarvests(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Harvest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testSim(t)
+	cfg := ilt.DefaultConfig(ilt.ModeFast)
+	epoch := l.Epoch() // captured before any harvest, like NewRunner does
+
+	mask := grid.New(testWindowPx, testWindowPx)
+	harvestOne(t, l, ws, cfg, testLayout(0, 0), mask, epoch)
+
+	// The entry is indexed (a later run sees it) but invisible at the
+	// captured epoch: the same pattern still misses.
+	if _, att := l.Prepare(epoch, cfg, ws, testWindowPx, testPixelNM, testLayout(0, 0)); att == nil || att.SeedKey != "" {
+		t.Fatalf("in-run harvest leaked through the epoch guard: %+v", att)
+	}
+	if _, att := l.Prepare(l.Epoch(), cfg, ws, testWindowPx, testPixelNM, testLayout(0, 0)); att == nil || att.SeedKey == "" {
+		t.Fatalf("entry invisible even at the current epoch: %+v", att)
+	}
+}
+
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	ws := testSim(t)
+	cfg := ilt.DefaultConfig(ilt.ModeFast)
+	mask := grid.New(testWindowPx, testWindowPx)
+
+	l, err := Open(Options{Dir: dir, Harvest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvestOne(t, l, ws, cfg, testLayout(0, 0), mask, l.Epoch())
+
+	// Flip one payload byte of the single stored entry.
+	var path string
+	filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(p) == ".mwe" {
+			path = p
+		}
+		return nil
+	})
+	if path == "" {
+		t.Fatal("harvest wrote no entry file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load-time: the corrupt entry is quarantined, never indexed, and the
+	// library stays usable.
+	l2, err := Open(Options{Dir: dir, Harvest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l2.Stats()
+	if st.Entries != 0 || st.Corrupt != 1 {
+		t.Fatalf("corrupt entry not quarantined at load: %+v", st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still in place: %v", err)
+	}
+	// The window recomputes cold and re-harvests the pattern.
+	att := harvestOne(t, l2, ws, cfg, testLayout(0, 0), mask, l2.Epoch())
+	if att.SeedKey != "" {
+		t.Fatal("quarantined entry still matched")
+	}
+	if st := l2.Stats(); st.Entries != 1 || st.Harvested != 1 {
+		t.Fatalf("recompute did not re-harvest: %+v", st)
+	}
+}
+
+func TestCorruptEntryDroppedOnRetrieval(t *testing.T) {
+	dir := t.TempDir()
+	ws := testSim(t)
+	cfg := ilt.DefaultConfig(ilt.ModeFast)
+	mask := grid.New(testWindowPx, testWindowPx)
+
+	l, err := Open(Options{Dir: dir, Harvest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvestOne(t, l, ws, cfg, testLayout(0, 0), mask, l.Epoch())
+
+	var path string
+	filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(p) == ".mwe" {
+			path = p
+		}
+		return nil
+	})
+	data, _ := os.ReadFile(path)
+	data[20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The index still matches, but the read fails: the entry is dropped,
+	// the window runs cold, and the run keeps going.
+	_, att := l.Prepare(l.Epoch(), cfg, ws, testWindowPx, testPixelNM, testLayout(0, 0))
+	if att == nil || att.SeedKey != "" {
+		t.Fatalf("corrupt entry seeded anyway: %+v", att)
+	}
+	st := l.Stats()
+	if st.Corrupt != 1 || st.Entries != 0 {
+		t.Fatalf("retrieval-time corruption not dropped: %+v", st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+}
+
+func TestFinishFallbackAccounting(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Harvest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testSim(t)
+	cfg := ilt.DefaultConfig(ilt.ModeFast)
+	mask := grid.New(testWindowPx, testWindowPx)
+	harvestOne(t, l, ws, cfg, testLayout(0, 0), mask, l.Epoch())
+
+	_, att := l.Prepare(l.Epoch(), cfg, ws, testWindowPx, testPixelNM, testLayout(0, 0))
+	if att == nil || att.SeedKey == "" {
+		t.Fatalf("expected a hit: %+v", att)
+	}
+	// The optimizer's probe rejected the seed: Result.Seeded is false.
+	att.Finish(&ilt.Result{MaskGray: mask, Iterations: 8, Seeded: false})
+	if st := l.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("probe rejection not counted as fallback: %+v", st)
+	}
+}
+
+func TestHarvestDisabled(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Harvest: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := testSim(t)
+	cfg := ilt.DefaultConfig(ilt.ModeFast)
+	harvestOne(t, l, ws, cfg, testLayout(0, 0), grid.New(testWindowPx, testWindowPx), l.Epoch())
+	if st := l.Stats(); st.Harvested != 0 || st.Entries != 0 {
+		t.Fatalf("read-only library harvested anyway: %+v", st)
+	}
+}

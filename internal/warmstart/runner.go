@@ -1,0 +1,79 @@
+package warmstart
+
+import (
+	"context"
+
+	"mosaic/internal/ilt"
+	"mosaic/internal/obs"
+	"mosaic/internal/tile"
+)
+
+// Runner wraps any tile.Runner with the warm-start library: before each
+// window runs, the library is consulted for a near-identical past
+// pattern and, on a hit, the request's optimizer config is seeded from
+// the stored mask; after the window completes, its converged mask is
+// harvested back. It composes outside the cache runner — the seed is
+// attached before the cache computes its content key, so seeded and
+// unseeded runs of one window occupy distinct cache entries.
+type Runner struct {
+	lib   *Library
+	inner tile.Runner
+	epoch int64
+}
+
+// NewRunner wraps inner with lib. A nil inner runs tiles in-process,
+// exactly like the scheduler's default; a nil lib passes requests
+// through untouched. The library epoch is captured here, once per run:
+// entries harvested while this runner is in flight stay invisible to it,
+// keeping a run against an initially-empty library bit-identical to a
+// disabled one.
+func NewRunner(lib *Library, inner tile.Runner) *Runner {
+	return &Runner{lib: lib, inner: inner, epoch: lib.Epoch()}
+}
+
+// LocalCompute reports whether the wrapped runner computes on this
+// machine's cores, forwarding the scheduler's core-reservation decision
+// through the decorator (see tile.LocalComputer).
+func (r *Runner) LocalCompute() bool {
+	return r.inner == nil || tile.IsLocalCompute(r.inner)
+}
+
+// RunTile consults the library, runs the (possibly seeded) request, and
+// finishes the attempt — histograms, fallback accounting, harvest. The
+// seed rides Config.SeedMask, so it crosses the cluster wire to remote
+// workers and participates in the cache key like any other config field.
+func (r *Runner) RunTile(ctx context.Context, req *tile.Request) (*ilt.Result, error) {
+	if r.lib == nil {
+		return r.runInner(ctx, req)
+	}
+	cfg, att := r.lib.Prepare(r.epoch, req.Cfg, req.Sim, req.Plan.WindowPx, req.Plan.PixelNM, req.Tile.Layout)
+	if att == nil {
+		return r.runInner(ctx, req)
+	}
+	seeded := *req
+	seeded.Cfg = cfg
+	res, err := r.runInner(ctx, &seeded)
+	if err != nil {
+		return nil, err
+	}
+	state := "miss"
+	if att.SeedKey != "" {
+		state = "fallback"
+		if res.Seeded {
+			state = "seeded"
+			if req.Prov != nil {
+				req.Prov.Seed = att.SeedKey
+			}
+		}
+	}
+	obs.CurrentSpan(ctx).SetAttrs(obs.String("tile.warmstart", state))
+	att.Finish(res)
+	return res, nil
+}
+
+func (r *Runner) runInner(ctx context.Context, req *tile.Request) (*ilt.Result, error) {
+	if r.inner != nil {
+		return r.inner.RunTile(ctx, req)
+	}
+	return tile.RunWindow(ctx, req.Sim, req.Cfg, req.Tile.Layout, req.Plan.WindowPx, req.Plan.PixelNM, req.Samples)
+}

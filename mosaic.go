@@ -41,6 +41,7 @@ import (
 	"mosaic/internal/sim"
 	"mosaic/internal/tile"
 	"mosaic/internal/vectorize"
+	"mosaic/internal/warmstart"
 )
 
 // Re-exported types: the full public surface of the library.
@@ -143,6 +144,17 @@ type (
 	// TileProvenance attributes one tile result: the worker that
 	// computed it and the cache tier that served it.
 	TileProvenance = tile.Provenance
+	// WarmStartLibrary is a durable pattern library of (target-pattern
+	// signature -> converged continuous mask) pairs: new windows whose
+	// target is near a stored pattern start the descent from the
+	// retrieved mask instead of the rule-based init (see
+	// TileOptions.WarmStart and OpenWarmStartLibrary).
+	WarmStartLibrary = warmstart.Library
+	// WarmStartOptions configures a WarmStartLibrary (directory, distance
+	// threshold, harvesting).
+	WarmStartOptions = warmstart.Options
+	// WarmStartStats is a snapshot of warm-start library activity.
+	WarmStartStats = warmstart.Stats
 )
 
 // OpenTileJournal opens (creating if absent) an on-disk tile journal for
@@ -164,6 +176,17 @@ func OpenTileCache(dir string, memBytes int64) (*TileCache, error) {
 // anchor, queryable and verifiable afterwards (see internal/artifact).
 // Close it when the process is done; commits after Close fail.
 func OpenArtifactStore(dir string) (*ArtifactStore, error) { return artifact.Open(dir) }
+
+// OpenWarmStartLibrary opens (creating if absent) a warm-start pattern
+// library for TileOptions.WarmStart. maxDist is the signature distance
+// threshold for retrieval (0 = warmstart.DefaultMaxDist); harvest
+// enables writing converged masks back. Invalid options (negative
+// distance, unwritable directory) are reported as *ConfigError. Like the
+// tile cache, one library is safe — and meant — to be shared across
+// every run and job of a process.
+func OpenWarmStartLibrary(dir string, maxDist float64, harvest bool) (*WarmStartLibrary, error) {
+	return warmstart.Open(warmstart.Options{Dir: dir, MaxDist: maxDist, Harvest: harvest})
+}
 
 // Optimization modes.
 const (
@@ -388,6 +411,15 @@ type TileOptions struct {
 	// empty uses the layout name. The serving layer sets it to the
 	// submitted job's ID so GET /v1/jobs/{id}/provenance resolves.
 	ArtifactJob string
+	// WarmStart, when non-nil, seeds each window's optimization from the
+	// nearest stored pattern in the library (falling back to the normal
+	// init on a miss or when the seed probes worse) and harvests every
+	// converged window back into it. Seeded windows must score no worse
+	// than cold ones — the optimizer's probe and best-iterate selection
+	// guarantee it — but are not bit-identical to them; with an empty or
+	// absent library the run is bit-identical to an unseeded one. See
+	// OpenWarmStartLibrary.
+	WarmStart *WarmStartLibrary
 }
 
 // LayoutResult is the outcome of OptimizeLayout: a mask covering the whole
@@ -400,6 +432,7 @@ type LayoutResult struct {
 	Tiles      []*Result // per-tile results in row-major order; one entry for an untiled run
 	Workers    int       // worker bound actually used
 	SeamNM     float64   // cross-fade band actually used
+	Iterations int       // optimizer iterations summed over tiles
 	RuntimeSec float64
 
 	// Provenance attributes each tile result (parallel to Tiles): the
@@ -456,17 +489,31 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		return nil, &ConfigError{Field: "TileOptions.Workers", Reason: fmt.Sprintf("must be >= 0 (0 = compute pool capacity), got %d", opts.Workers)}
 	}
 	if s.fitsGrid(layout) && (opts.TileNM <= 0 || opts.TileNM >= layout.SizeNM) {
-		res, err := s.OptimizeCtx(ctx, cfg, layout)
+		// The warm-start library treats the whole grid as one window: an
+		// untiled run retrieves, seeds, and harvests exactly like a tile.
+		runCfg := cfg
+		var att *warmstart.Attempt
+		if opts.WarmStart != nil {
+			runCfg, att = opts.WarmStart.Prepare(opts.WarmStart.Epoch(), cfg,
+				s.Sim, s.Sim.Cfg.GridSize, s.Sim.Cfg.PixelNM, layout)
+		}
+		res, err := s.OptimizeCtx(ctx, runCfg, layout)
 		if err != nil {
 			return nil, err
+		}
+		att.Finish(res)
+		prov := TileProvenance{}
+		if att != nil && att.SeedKey != "" && res.Seeded {
+			prov.Seed = att.SeedKey
 		}
 		out := &LayoutResult{
 			Mask:       res.Mask,
 			MaskGray:   res.MaskGray,
 			Tiles:      []*Result{res},
 			Workers:    1,
+			Iterations: res.Iterations,
 			RuntimeSec: res.RuntimeSec,
-			Provenance: []TileProvenance{{}},
+			Provenance: []TileProvenance{prov},
 		}
 		if err := s.recordArtifact(opts, cfg, layout, out, s.Sim, nil); err != nil {
 			return nil, err
@@ -488,6 +535,13 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		// local optimization or remote dispatch.
 		runner = cache.NewRunner(opts.Cache, runner)
 	}
+	if opts.WarmStart != nil {
+		// Warm-start wraps outermost: the seed is attached to the request
+		// before the cache computes its content key (seeded and unseeded
+		// runs of a window are distinct entries) and before any remote
+		// dispatch (the seed crosses the wire inside the config).
+		runner = warmstart.NewRunner(opts.WarmStart, runner)
+	}
 	res, err := plan.Optimize(ctx, ws, cfg, tile.Options{
 		Workers:      opts.Workers,
 		SeamNM:       opts.SeamNM,
@@ -500,6 +554,10 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
+	iters := 0
+	for _, tr := range res.Tiles {
+		iters += tr.Iterations
+	}
 	out := &LayoutResult{
 		Mask:       res.Mask,
 		MaskGray:   res.MaskGray,
@@ -507,6 +565,7 @@ func (s *Setup) OptimizeLayout(ctx context.Context, cfg Config, layout *Layout, 
 		Tiles:      res.Tiles,
 		Workers:    res.Workers,
 		SeamNM:     res.SeamNM,
+		Iterations: iters,
 		RuntimeSec: res.RuntimeSec,
 		Provenance: res.Prov,
 	}

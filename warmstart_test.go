@@ -1,0 +1,196 @@
+package mosaic
+
+import (
+	"context"
+	"testing"
+)
+
+// warmCfg is the shared optimizer configuration for the warm-start façade
+// tests: single-chunk gradients keep runs bit-reproducible, and the
+// fixed iteration budget (no SRAF seeding, no jumps) makes iteration
+// counts deterministic.
+func warmCfg(maxIter int) Config {
+	cfg := DefaultConfig(ModeFast)
+	cfg.MaxIter = maxIter
+	cfg.GradKernels = 1
+	cfg.SRAFInit = false
+	cfg.Jumps = 0
+	return cfg
+}
+
+// translated returns layout with every polygon shifted by (dx, dy) nm.
+func translated(l *Layout, dx, dy float64) *Layout {
+	out := &Layout{Name: l.Name + "-shifted", SizeNM: l.SizeNM}
+	for _, p := range l.Polys {
+		q := make(Polygon, len(p))
+		for i, v := range p {
+			q[i] = Point{X: v.X + dx, Y: v.Y + dy}
+		}
+		out.Polys = append(out.Polys, q)
+	}
+	return out
+}
+
+// TestWarmStartEmptyLibraryBitIdentical pins the subsystem's safety
+// property: a run against an empty library — even one that harvests as it
+// goes — is bit-identical to a run with warm-start disabled.
+func TestWarmStartEmptyLibraryBitIdentical(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := warmCfg(6)
+	layout := smallLayout()
+	ctx := context.Background()
+
+	base, err := s.OptimizeLayout(ctx, cfg, layout, TileOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lib, err := OpenWarmStartLibrary(t.TempDir(), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := s.OptimizeLayout(ctx, cfg, layout, TileOptions{Workers: 1, WarmStart: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.MaskGray.Data {
+		if base.MaskGray.Data[i] != empty.MaskGray.Data[i] {
+			t.Fatalf("empty-library run differs from disabled at pixel %d", i)
+		}
+	}
+	if base.Iterations != empty.Iterations {
+		t.Fatalf("empty-library run took %d iterations, disabled took %d", empty.Iterations, base.Iterations)
+	}
+	st := lib.Stats()
+	if st.Hits != 0 || st.Harvested != 1 || st.Lookups != 1 {
+		t.Fatalf("empty-library run stats %+v: want 1 lookup, 0 hits, 1 harvest", st)
+	}
+	if empty.Provenance[0].Seed != "" {
+		t.Fatalf("unseeded run carries seed provenance %q", empty.Provenance[0].Seed)
+	}
+}
+
+// TestWarmStartIterationCut pins the subsystem's payoff on its target
+// workload — a repeated cell with placement jitter: seeding from the
+// harvested converged mask must cut iterations by at least 1.5x while
+// scoring no worse than the cold run.
+func TestWarmStartIterationCut(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := warmCfg(12)
+	ctx := context.Background()
+	lib, err := OpenWarmStartLibrary(t.TempDir(), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := s.OptimizeLayout(ctx, cfg, smallLayout(), TileOptions{Workers: 1, WarmStart: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same cell one pixel away: a translated repeat, the common case
+	// in a real layout.
+	jittered := translated(smallLayout(), 8, 8)
+	warm, err := s.OptimizeLayout(ctx, cfg, jittered, TileOptions{Workers: 1, WarmStart: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := lib.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("translated repeat did not hit: %+v", st)
+	}
+	if warm.Provenance[0].Seed == "" {
+		t.Fatal("seeded run carries no seed provenance")
+	}
+	if 2*cold.Iterations < 3*warm.Iterations {
+		t.Fatalf("iteration cut below 1.5x: cold %d, warm %d", cold.Iterations, warm.Iterations)
+	}
+
+	coldRep, err := s.Evaluate(cold.Mask, smallLayout(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRep, err := s.Evaluate(warm.Mask, jittered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRep.Score > coldRep.Score {
+		t.Fatalf("seeded run scored %.0f, worse than cold %.0f", warmRep.Score, coldRep.Score)
+	}
+	if warmRep.EPEViolations > coldRep.EPEViolations {
+		t.Fatalf("seeded run has %d EPE violations, cold has %d", warmRep.EPEViolations, coldRep.EPEViolations)
+	}
+}
+
+// TestWarmStartTiled drives the library through the tiled scheduler path
+// (the warm-start runner decorating the tile runner): a second run over a
+// repeated-cell layout must seed every window from the first run's
+// harvest and never score worse.
+func TestWarmStartTiled(t *testing.T) {
+	s, err := NewSetup(smallOptics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := warmCfg(6)
+	layout := cacheLayout()
+	ctx := context.Background()
+	lib, err := OpenWarmStartLibrary(t.TempDir(), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := TileOptions{TileNM: 512, Workers: 1, WarmStart: lib}
+
+	cold, err := s.OptimizeLayout(ctx, cfg, layout, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Tiled || len(cold.Tiles) != 4 {
+		t.Fatalf("expected a 4-tile run, got tiled=%v tiles=%d", cold.Tiled, len(cold.Tiles))
+	}
+	// The epoch is captured at run start: in-run harvests are invisible,
+	// so the first run is all misses even where windows repeat.
+	st := lib.Stats()
+	if st.Hits != 0 || st.Harvested == 0 {
+		t.Fatalf("cold tiled run stats %+v: want misses only, with harvests", st)
+	}
+
+	warm, err := s.OptimizeLayout(ctx, cfg, layout, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = lib.Stats()
+	if st.Hits != 4 {
+		t.Fatalf("second tiled run stats %+v: want every window seeded", st)
+	}
+	seeded := 0
+	for _, p := range warm.Provenance {
+		if p.Seed != "" {
+			seeded++
+		}
+	}
+	if seeded != 4 {
+		t.Fatalf("%d of 4 tiles carry seed provenance", seeded)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("seeded tiled run took %d iterations, cold took %d", warm.Iterations, cold.Iterations)
+	}
+
+	coldRep, err := s.EvaluateLayout(cold.Mask, layout, topts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRep, err := s.EvaluateLayout(warm.Mask, layout, topts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRep.Score > coldRep.Score {
+		t.Fatalf("seeded tiled run scored %.0f, worse than cold %.0f", warmRep.Score, coldRep.Score)
+	}
+}
